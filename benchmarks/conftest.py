@@ -1,0 +1,25 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+The expensive scheme x trace replay matrices are computed once per
+session and shared by the figure benchmarks that read different columns
+of the same experiment (Figs 8, 9 and 10 all come from the single-SSD
+matrix).
+"""
+
+import pytest
+
+from repro.bench.figures import fig8_to_11_matrix
+
+#: Replay horizon (virtual seconds per trace).  Long enough for several
+#: burst/idle cycles of every workload; short enough for CI.
+DURATION = 100.0
+
+
+@pytest.fixture(scope="session")
+def ssd_matrix():
+    return fig8_to_11_matrix(backend="ssd", duration=DURATION)
+
+
+@pytest.fixture(scope="session")
+def rais5_matrix():
+    return fig8_to_11_matrix(backend="rais5", duration=DURATION)

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Tune EDC's gzip/lzf intensity threshold (the paper's Fig 12 knob).
+
+The administrator-facing tunable in EDC is where the boundary between
+the high-ratio codec (Gzip) and the fast codec (Lzf) sits on the
+calculated-IOPS axis.  This example sweeps it on the Fin2 trace and
+prints the resulting gzip share, compression ratio and response time —
+the trade-off curve from which an operator picks a sweet spot.
+
+Run:  python examples/threshold_tuning.py
+"""
+
+from repro.bench.figures import fig12_threshold_sensitivity
+from repro.bench.report import render_table
+
+
+def main() -> None:
+    print("sweeping the gzip/lzf threshold on Fin2 (a few minutes)...\n")
+    points = fig12_threshold_sensitivity(trace_name="Fin2", duration=80.0)
+    rows = []
+    best = max(points, key=lambda p: p.compression_ratio / p.mean_response)
+    for p in points:
+        marker = "  <-- best ratio/time" if p is best else ""
+        rows.append(
+            [
+                f"{p.threshold_iops:.0f}",
+                f"{p.gzip_share:.1%}",
+                f"{p.compression_ratio:.2f}",
+                f"{p.mean_response * 1e3:.3f}{marker}",
+            ]
+        )
+    print(
+        render_table(
+            ["threshold (calc IOPS)", "gzip share", "ratio", "resp ms"],
+            rows,
+            title="EDC threshold sweep (skip band held fixed, as in the paper)",
+        )
+    )
+    print(
+        "\nReading the curve: pushing the boundary right sends more of the\n"
+        "workload to Gzip — the ratio rises, but response time rises faster\n"
+        "once Gzip work lands inside bursts. The paper reports ~20% Gzip as\n"
+        "the sweet spot for its setup; pick yours from the composite column."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+Metadata lives in pyproject.toml; this file exists so that editable
+installs work in offline environments whose pip cannot fetch the
+``wheel`` package required by the PEP 660 editable-install path
+(``pip install -e . --no-build-isolation`` falls back to setuptools'
+develop mode through this shim).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,185 @@
+"""Trace replay driver: one scheme, one trace, one backend → results.
+
+This is the engine behind every results figure (Figs 8-12).  It owns the
+plumbing the paper's testbed provided physically: device construction
+(single SSD or five-SSD RAIS5), address folding onto the scaled-down
+simulated device, deterministic content assignment, and the replay loop
+itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.compression.costmodel import CodecCostModel
+from repro.core.config import EDCConfig
+from repro.core.policy import IntensityBand
+from repro.core.replay import TraceReplayer
+from repro.flash.geometry import NandGeometry, NandTiming, X25E_TIMING, x25e_like
+from repro.flash.raid import RAIS5
+from repro.flash.ssd import SimulatedSSD
+from repro.bench.schemes import build_device
+from repro.sdgen.datasets import ENTERPRISE_MIX
+from repro.sdgen.generator import ContentMix, ContentStore
+from repro.sim.engine import Simulator
+from repro.traces.model import Trace
+
+__all__ = ["ReplayConfig", "ExperimentResult", "replay", "replay_all_schemes"]
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Environment shared by every scheme in one experiment.
+
+    Attributes
+    ----------
+    backend:
+        ``"ssd"`` for a single device (Fig 10) or ``"rais5"`` for the
+        paper's five-SSD array (Fig 11).
+    capacity_mb:
+        Raw capacity per simulated SSD.
+    fold_fraction:
+        Trace addresses are folded onto this fraction of the backend's
+        logical capacity, so overwrites recur and GC is exercised.
+    content_mix / pool_blocks / content_seed:
+        Content-population parameters (SDGen substitute).
+    """
+
+    backend: str = "ssd"
+    n_devices: int = 5
+    capacity_mb: int = 128
+    fold_fraction: float = 0.8
+    stripe_unit: int = 4096
+    content_mix: ContentMix = field(default_factory=lambda: ENTERPRISE_MIX)
+    pool_blocks: int = 512
+    content_seed: int = 5
+    timing: NandTiming = field(default_factory=lambda: X25E_TIMING)
+    device_config: EDCConfig = field(default_factory=EDCConfig)
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("ssd", "rais5"):
+            raise ValueError(f"backend must be 'ssd' or 'rais5': {self.backend!r}")
+        if self.backend == "rais5" and self.n_devices < 3:
+            raise ValueError("rais5 needs at least 3 devices")
+        if not 0 < self.fold_fraction <= 1:
+            raise ValueError(f"fold_fraction must be in (0,1]: {self.fold_fraction!r}")
+
+    def geometry(self) -> NandGeometry:
+        return x25e_like(self.capacity_mb)
+
+    def fold_bytes(self, block_size: int) -> int:
+        """Logical address-space bytes the trace is folded onto."""
+        logical = self.geometry().logical_bytes
+        if self.backend == "rais5":
+            logical *= self.n_devices - 1  # data devices
+        folded = int(logical * self.fold_fraction)
+        return max(block_size, folded // block_size * block_size)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything the figures need from one (scheme, trace) replay."""
+
+    scheme: str
+    trace_name: str
+    n_requests: int
+    compression_ratio: float
+    payload_ratio: float
+    space_saving: float
+    mean_response: float
+    mean_write_response: float
+    mean_read_response: float
+    p99_response: float
+    write_amplification: float
+    gc_stall_time: float
+    codec_shares: Dict[str, float]
+    skipped_intensity: int
+    skipped_incompressible: int
+    merged_runs: int
+
+    @property
+    def composite(self) -> float:
+        """The paper's ratio/response-time benefit metric (Fig 9)."""
+        if self.mean_response <= 0:
+            return 0.0
+        return self.compression_ratio / self.mean_response
+
+
+def _build_backend(sim: Simulator, cfg: ReplayConfig):
+    geo = cfg.geometry()
+    if cfg.backend == "ssd":
+        return SimulatedSSD(sim, geometry=geo, timing=cfg.timing), None
+    devices = [
+        SimulatedSSD(sim, name=f"ssd{i}", geometry=geo, timing=cfg.timing)
+        for i in range(cfg.n_devices)
+    ]
+    return RAIS5(devices, stripe_unit=cfg.stripe_unit), devices
+
+
+def replay(
+    trace: Trace,
+    scheme: str,
+    cfg: Optional[ReplayConfig] = None,
+    bands: Optional[Sequence[IntensityBand]] = None,
+    cost_model: Optional[CodecCostModel] = None,
+) -> ExperimentResult:
+    """Replay ``trace`` under ``scheme`` and collect the result record."""
+    cfg = cfg if cfg is not None else ReplayConfig()
+    sim = Simulator()
+    backend, devices = _build_backend(sim, cfg)
+    block = cfg.device_config.block_size
+    folded = trace.scaled_addresses(cfg.fold_bytes(block), block)
+    content = ContentStore(
+        cfg.content_mix,
+        block_size=block,
+        pool_blocks=cfg.pool_blocks,
+        seed=cfg.content_seed,
+    )
+    device = build_device(
+        sim, scheme, backend, content,
+        config=cfg.device_config, bands=bands, cost_model=cost_model,
+    )
+    TraceReplayer(sim, device).replay(folded)
+
+    if devices is None:
+        wa = backend.write_amplification()
+        gc_stall = backend.stats.gc_stall_time
+    else:
+        host = sum(d.ftl.stats.host_bytes for d in devices)
+        moved = sum(d.ftl.stats.relocated_bytes for d in devices)
+        wa = (host + moved) / host if host else 1.0
+        gc_stall = sum(d.stats.gc_stall_time for d in devices)
+
+    all_samples = device.write_latency.samples().tolist()
+    all_samples += device.read_latency.samples().tolist()
+    import numpy as np
+
+    p99 = float(np.percentile(all_samples, 99)) if all_samples else 0.0
+    return ExperimentResult(
+        scheme=scheme,
+        trace_name=trace.name,
+        n_requests=len(folded),
+        compression_ratio=device.stats.compression_ratio,
+        payload_ratio=device.stats.payload_ratio,
+        space_saving=device.stats.space_saving,
+        mean_response=device.mean_response_time(),
+        mean_write_response=device.write_latency.mean(),
+        mean_read_response=device.read_latency.mean(),
+        p99_response=p99,
+        write_amplification=wa,
+        gc_stall_time=gc_stall,
+        codec_shares=device.stats.codec_shares(),
+        skipped_intensity=device.stats.skipped_intensity,
+        skipped_incompressible=device.stats.skipped_incompressible,
+        merged_runs=device.stats.merged_runs,
+    )
+
+
+def replay_all_schemes(
+    trace: Trace,
+    cfg: Optional[ReplayConfig] = None,
+    schemes: Sequence[str] = ("Native", "Lzf", "Gzip", "Bzip2", "EDC"),
+) -> Dict[str, ExperimentResult]:
+    """Replay one trace under every scheme (the per-trace group of Figs 8-11)."""
+    return {s: replay(trace, s, cfg) for s in schemes}

@@ -1,0 +1,93 @@
+"""Multi-seed replication: mean and confidence intervals for replays.
+
+A single replay is one sample of a stochastic system.  For claims like
+"EDC's response time is X% of Native's" the harness should report
+seed-replicated means with confidence intervals, which is what
+:func:`replicate` provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.bench.experiments import ExperimentResult, ReplayConfig, replay
+from repro.traces.model import Trace
+
+__all__ = ["MetricSummary", "ReplicatedResult", "replicate"]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean and spread of one metric across seeds."""
+
+    mean: float
+    std: float
+    ci95_half_width: float
+    n: int
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        return (self.mean - self.ci95_half_width, self.mean + self.ci95_half_width)
+
+    def overlaps(self, other: "MetricSummary") -> bool:
+        """Whether the two 95% intervals overlap (a quick significance check)."""
+        a_lo, a_hi = self.ci95
+        b_lo, b_hi = other.ci95
+        return a_lo <= b_hi and b_lo <= a_hi
+
+
+def _summarise(values: Sequence[float]) -> MetricSummary:
+    arr = np.asarray(values, dtype=np.float64)
+    n = arr.size
+    std = float(arr.std(ddof=1)) if n > 1 else 0.0
+    # Normal approximation; fine for the qualitative assertions we make.
+    half = 1.96 * std / np.sqrt(n) if n > 1 else 0.0
+    return MetricSummary(mean=float(arr.mean()), std=std, ci95_half_width=float(half), n=n)
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """Per-metric summaries for one scheme across seeds."""
+
+    scheme: str
+    metrics: Dict[str, MetricSummary]
+    results: tuple
+
+    def __getitem__(self, metric: str) -> MetricSummary:
+        return self.metrics[metric]
+
+
+_METRICS = (
+    "compression_ratio",
+    "mean_response",
+    "mean_write_response",
+    "mean_read_response",
+    "space_saving",
+    "write_amplification",
+)
+
+
+def replicate(
+    trace_factory: Callable[[int], Trace],
+    scheme: str,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    cfg: Optional[ReplayConfig] = None,
+) -> ReplicatedResult:
+    """Replay ``scheme`` once per seed and summarise the headline metrics.
+
+    ``trace_factory(seed)`` must produce the seed's trace; the device
+    environment (``cfg``) is held fixed so the only randomness is the
+    workload's.
+    """
+    if not seeds:
+        raise ValueError("at least one seed required")
+    results: list[ExperimentResult] = []
+    for seed in seeds:
+        results.append(replay(trace_factory(seed), scheme, cfg))
+    metrics = {
+        m: _summarise([getattr(r, m) for r in results]) for m in _METRICS
+    }
+    return ReplicatedResult(scheme=scheme, metrics=metrics, results=tuple(results))

@@ -1,0 +1,67 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep the formatting consistent and readable in
+pytest/benchmark output and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "render_normalized"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    fmt: str = "{:.3f}",
+) -> str:
+    """Multiple named series against a shared x axis, one row per x."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [fmt.format(series[name][i]) for name in series])
+    return render_table(headers, rows, title)
+
+
+def render_normalized(
+    metric_by_scheme: Mapping[str, float],
+    baseline: str = "Native",
+    label: str = "value",
+) -> str:
+    """One metric across schemes, normalised to a baseline scheme."""
+    if baseline not in metric_by_scheme:
+        raise KeyError(f"baseline {baseline!r} missing from results")
+    base = metric_by_scheme[baseline]
+    rows = []
+    for scheme, v in metric_by_scheme.items():
+        norm = v / base if base else float("nan")
+        rows.append([scheme, f"{v:.6g}", f"{norm:.3f}"])
+    return render_table(["scheme", label, f"vs {baseline}"], rows)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,184 @@
+"""From-scratch canonical Huffman codec (order-0 entropy coding).
+
+The codec-efficiency study (Fig 2) spans match-heavy codecs (LZF/LZ4)
+and match+entropy codecs (DEFLATE, bzip2).  This module adds the missing
+pure-entropy point: a canonical Huffman coder with no match finding at
+all, analogous to the ``huff0`` stage of modern codecs.  On text it
+captures most of the Huffman share of DEFLATE's advantage while being
+far cheaper — which is precisely the gap between LZF and Gzip that the
+content calibration (``repro.sdgen.chunks``) models.
+
+Wire format (little-endian):
+
+- 1-byte mode: ``0`` = stored raw, ``1`` = Huffman.
+- mode 0: the original bytes follow verbatim.
+- mode 1: 4-byte original length; 128 bytes of 4-bit code lengths
+  (one nibble per symbol, low nibble first; length 0 = symbol absent);
+  then the MSB-first bitstream.
+
+Code lengths are capped at 15 so they pack into nibbles; inputs whose
+optimal tree is deeper (pathologically skewed, large inputs) are stored
+raw — correctness never depends on the tree shape.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from typing import List, Optional, Tuple
+
+from repro.compression.codec import Codec, CodecError
+
+__all__ = ["huffman_compress", "huffman_decompress", "HuffmanCodec"]
+
+_MODE_RAW = 0
+_MODE_HUFF = 1
+_MAX_CODE_LEN = 15
+
+
+def _code_lengths(data: bytes) -> Optional[List[int]]:
+    """Optimal prefix-code lengths per symbol, or ``None`` if too deep."""
+    freq = Counter(data)
+    if len(freq) == 1:
+        sym = next(iter(freq))
+        lengths = [0] * 256
+        lengths[sym] = 1
+        return lengths
+    # Heap of (weight, tiebreak, symbols-with-depth) trees.
+    heap: List[Tuple[int, int, List[Tuple[int, int]]]] = []
+    for tiebreak, (sym, w) in enumerate(sorted(freq.items())):
+        heap.append((w, tiebreak, [(sym, 0)]))
+    heapq.heapify(heap)
+    counter = len(heap)
+    while len(heap) > 1:
+        w1, _, t1 = heapq.heappop(heap)
+        w2, _, t2 = heapq.heappop(heap)
+        merged = [(s, d + 1) for s, d in t1] + [(s, d + 1) for s, d in t2]
+        heapq.heappush(heap, (w1 + w2, counter, merged))
+        counter += 1
+    lengths = [0] * 256
+    for sym, depth in heap[0][2]:
+        if depth > _MAX_CODE_LEN:
+            return None
+        lengths[sym] = depth
+    return lengths
+
+
+def _canonical_codes(lengths: List[int]) -> List[Tuple[int, int]]:
+    """(code, length) per symbol from canonical ordering of lengths."""
+    pairs = sorted(
+        (length, sym) for sym, length in enumerate(lengths) if length > 0
+    )
+    codes: List[Tuple[int, int]] = [(0, 0)] * 256
+    code = 0
+    prev_len = 0
+    for length, sym in pairs:
+        code <<= length - prev_len
+        codes[sym] = (code, length)
+        code += 1
+        prev_len = length
+    return codes
+
+
+def huffman_compress(data: bytes) -> bytes:
+    """Compress ``data``; falls back to stored-raw when coding cannot win."""
+    if not data:
+        return bytes([_MODE_RAW])
+    lengths = _code_lengths(data)
+    if lengths is None:
+        return bytes([_MODE_RAW]) + data
+    codes = _canonical_codes(lengths)
+    total_bits = sum(codes[b][1] for b in data)
+    payload_size = 1 + 4 + 128 + (total_bits + 7) // 8
+    if payload_size >= 1 + len(data):
+        return bytes([_MODE_RAW]) + data
+    out = bytearray([_MODE_HUFF])
+    out += len(data).to_bytes(4, "little")
+    for i in range(0, 256, 2):
+        out.append(lengths[i] | (lengths[i + 1] << 4))
+    acc = 0
+    nbits = 0
+    for b in data:
+        code, length = codes[b]
+        acc = (acc << length) | code
+        nbits += length
+        while nbits >= 8:
+            nbits -= 8
+            out.append((acc >> nbits) & 0xFF)
+            acc &= (1 << nbits) - 1
+    if nbits:
+        out.append((acc << (8 - nbits)) & 0xFF)
+    return bytes(out)
+
+
+def huffman_decompress(data: bytes, original_size: Optional[int] = None) -> bytes:
+    """Invert :func:`huffman_compress`."""
+    if not data:
+        raise CodecError("empty Huffman stream")
+    mode = data[0]
+    if mode == _MODE_RAW:
+        out = data[1:]
+        if original_size is not None and len(out) != original_size:
+            raise CodecError(
+                f"Huffman raw block is {len(out)} bytes, expected {original_size}"
+            )
+        return out
+    if mode != _MODE_HUFF:
+        raise CodecError(f"unknown Huffman mode byte {mode}")
+    if len(data) < 1 + 4 + 128:
+        raise CodecError("truncated Huffman header")
+    n = int.from_bytes(data[1:5], "little")
+    lengths = [0] * 256
+    for i in range(128):
+        packed = data[5 + i]
+        lengths[2 * i] = packed & 0x0F
+        lengths[2 * i + 1] = packed >> 4
+    codes = _canonical_codes(lengths)
+    # length -> (first code of that length, symbol table offset)
+    by_length: dict[int, dict[int, int]] = {}
+    for sym in range(256):
+        code, length = codes[sym]
+        if length:
+            by_length.setdefault(length, {})[code] = sym
+    out = bytearray()
+    acc = 0
+    nbits = 0
+    pos = 5 + 128
+    try:
+        while len(out) < n:
+            while nbits < _MAX_CODE_LEN and pos < len(data):
+                acc = (acc << 8) | data[pos]
+                pos += 1
+                nbits += 8
+            matched = False
+            for length in range(1, min(nbits, _MAX_CODE_LEN) + 1):
+                candidate = acc >> (nbits - length)
+                table = by_length.get(length)
+                if table is not None and candidate in table:
+                    out.append(table[candidate])
+                    nbits -= length
+                    acc &= (1 << nbits) - 1
+                    matched = True
+                    break
+            if not matched:
+                raise CodecError("invalid Huffman bitstream")
+    except IndexError:
+        raise CodecError("truncated Huffman bitstream") from None
+    if original_size is not None and len(out) != original_size:
+        raise CodecError(
+            f"Huffman decoded {len(out)} bytes, expected {original_size}"
+        )
+    return bytes(out)
+
+
+class HuffmanCodec(Codec):
+    """The canonical-Huffman codec as a registry codec (tag 7)."""
+
+    name = "huffman"
+    tag = 7
+
+    def compress(self, data: bytes) -> bytes:
+        return huffman_compress(data)
+
+    def decompress(self, data: bytes, original_size: Optional[int] = None) -> bytes:
+        return huffman_decompress(data, original_size)

@@ -1,0 +1,154 @@
+"""Pure-Python implementation of the LZF compressed format.
+
+LZF (Marc Lehmann's libLZF) is the fast, low-ratio codec the paper uses
+during bursty periods.  This module implements the *wire format* of
+libLZF from scratch — output produced here decompresses with liblzf and
+vice versa — so compression ratios measured in the evaluation are real.
+
+Format summary (one token stream, no header):
+
+- control byte ``c < 0x20``: a literal run of ``c + 1`` bytes follows
+  (1..32 literals per run).
+- control byte ``c >= 0x20``: a back-reference.  ``len3 = c >> 5`` is the
+  3-bit length code; if ``len3 == 7`` an extension byte follows and the
+  match length is ``7 + ext + 2``, otherwise ``len3 + 2`` (3..264 bytes).
+  The distance is ``((c & 0x1f) << 8 | low_byte) + 1`` (1..8192).
+
+The compressor is greedy with a 3-byte-prefix match table, mirroring
+``lzf_c.c``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compression.codec import Codec, CodecError
+
+__all__ = ["lzf_compress", "lzf_decompress", "LZFCodec"]
+
+#: Maximum literals encodable in one control byte.
+_MAX_LIT = 32
+#: Maximum back-reference distance (13-bit offset field, +1 bias).
+_MAX_OFF = 1 << 13
+#: Maximum match length: 2 + 7 + 255.
+_MAX_REF = 264
+#: Minimum match length worth encoding (a reference costs 2-3 bytes).
+_MIN_MATCH = 3
+
+
+def _emit_literals(out: bytearray, data: bytes, start: int, end: int) -> None:
+    """Append ``data[start:end]`` as literal runs of at most 32 bytes."""
+    pos = start
+    while pos < end:
+        run = min(_MAX_LIT, end - pos)
+        out.append(run - 1)
+        out += data[pos : pos + run]
+        pos += run
+
+
+def lzf_compress(data: bytes) -> bytes:
+    """Compress ``data`` into the LZF token stream.
+
+    The output is never useful when larger than the input, but — like
+    libLZF in its "always succeed" mode — it is still produced; callers
+    (EDC's 75 % rule) decide whether to keep it.
+    """
+    n = len(data)
+    if n == 0:
+        return b""
+    out = bytearray()
+    table: dict[bytes, int] = {}
+    lit_start = 0
+    i = 0
+    limit = n - 2  # need 3 bytes to form a match key
+    while i < limit:
+        key = data[i : i + 3]
+        cand = table.get(key)
+        table[key] = i
+        if cand is None or i - cand > _MAX_OFF:
+            i += 1
+            continue
+        # Extend the match (the first 3 bytes are equal by key identity).
+        max_len = min(n - i, _MAX_REF)
+        mlen = _MIN_MATCH
+        while mlen < max_len and data[cand + mlen] == data[i + mlen]:
+            mlen += 1
+        _emit_literals(out, data, lit_start, i)
+        off = i - cand - 1
+        length_code = mlen - 2
+        if length_code < 7:
+            out.append((length_code << 5) | (off >> 8))
+        else:
+            out.append((7 << 5) | (off >> 8))
+            out.append(length_code - 7)
+        out.append(off & 0xFF)
+        # Index a few positions inside the match so later data can refer
+        # into it (libLZF indexes the next two positions).
+        end = i + mlen
+        j = i + 1
+        while j < min(end, limit):
+            table[data[j : j + 3]] = j
+            j += 1
+        i = end
+        lit_start = i
+    _emit_literals(out, data, lit_start, n)
+    return bytes(out)
+
+
+def lzf_decompress(data: bytes, original_size: Optional[int] = None) -> bytes:
+    """Decode an LZF token stream produced by :func:`lzf_compress`.
+
+    ``original_size``, when given, is validated against the decoded
+    length (EDC always knows it from the mapping entry).
+    """
+    out = bytearray()
+    i = 0
+    n = len(data)
+    try:
+        while i < n:
+            ctrl = data[i]
+            i += 1
+            if ctrl < 0x20:
+                run = ctrl + 1
+                if i + run > n:
+                    raise CodecError("LZF literal run overruns input")
+                out += data[i : i + run]
+                i += run
+                continue
+            length = ctrl >> 5
+            if length == 7:
+                length += data[i]
+                i += 1
+            length += 2
+            dist = ((ctrl & 0x1F) << 8) | data[i]
+            i += 1
+            dist += 1
+            start = len(out) - dist
+            if start < 0:
+                raise CodecError("LZF back-reference before start of output")
+            if dist >= length:
+                out += out[start : start + length]
+            else:
+                # Overlapping copy: byte-at-a-time semantics (RLE-style).
+                for k in range(length):
+                    out.append(out[start + k])
+    except IndexError:
+        raise CodecError("truncated LZF stream") from None
+    if original_size is not None and len(out) != original_size:
+        raise CodecError(
+            f"LZF decoded {len(out)} bytes, expected {original_size}"
+        )
+    return bytes(out)
+
+
+class LZFCodec(Codec):
+    """The LZF codec as a registry :class:`~repro.compression.codec.Codec`."""
+
+    name = "lzf"
+    tag = 1
+
+    def compress(self, data: bytes) -> bytes:
+        return lzf_compress(data)
+
+    def decompress(self, data: bytes, original_size: Optional[int] = None) -> bytes:
+        return lzf_decompress(data, original_size)

@@ -1,0 +1,83 @@
+"""Configuration for the EDC block device and its comparison schemes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["EDCConfig"]
+
+
+@dataclass(frozen=True)
+class EDCConfig:
+    """Tunables of the EDC stack (defaults follow the paper where stated).
+
+    Attributes
+    ----------
+    block_size:
+        Logical block size; the paper uses the Linux 4 KB page.
+    monitor_window:
+        Sliding window (seconds) over which calculated IOPS is measured.
+    size_class_fractions:
+        The allocator's slot classes (§III-C: 25/50/75/100 %).
+    sd_enabled:
+        Whether the Sequentiality Detector merges contiguous writes.
+    sd_max_merge_blocks:
+        Upper bound on blocks merged into one compression unit.
+    sd_flush_timeout:
+        Safety timeout (seconds) after which a pending merged run is
+        flushed even if sequentiality was never broken.  The paper's flow
+        (Fig 7) flushes only on a breaking request; an unbounded wait
+        would leave the last burst's tail stuck, so a bound is needed in
+        any real implementation.
+    compressibility_gate:
+        Whether non-compressible data is written through uncompressed
+        (one of EDC's two headline mechanisms).
+    estimator_sample_fraction:
+        Fraction of a block sampled by the compressibility estimator.
+    cpu_threads:
+        Parallelism of the host compression engine.
+    charge_estimation_cost:
+        Whether the sampling estimator's CPU time is charged on the
+        write path (the paper's prototype pays it; it is small).
+    verify_reads:
+        Decompress on every read and compare with expected content
+        (integrity checking; used by tests, off in benchmarks).
+    store_payloads:
+        Retain compressed payloads for verification.
+    """
+
+    block_size: int = 4096
+    monitor_window: float = 0.05
+    size_class_fractions: Tuple[float, ...] = (0.25, 0.50, 0.75, 1.0)
+    sd_enabled: bool = True
+    sd_max_merge_blocks: int = 16
+    sd_flush_timeout: float = 0.0001
+    compressibility_gate: bool = True
+    #: pass the content class of each write unit to the policy as a
+    #: semantic hint (paper §VI future work; see repro.core.hints)
+    semantic_hints: bool = False
+    #: direct frequently-overwritten (hot) blocks to FTL stream 1 and
+    #: cold data to stream 0 (requires a backend built with n_streams=2)
+    hot_cold_streams: bool = False
+    #: a block counts as hot once overwritten this many times
+    hot_version_threshold: int = 3
+    estimator_sample_fraction: float = 0.25
+    cpu_threads: int = 1
+    charge_estimation_cost: bool = True
+    verify_reads: bool = False
+    store_payloads: bool = False
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ValueError(f"block_size must be positive: {self.block_size!r}")
+        if self.monitor_window <= 0:
+            raise ValueError(f"monitor_window must be positive: {self.monitor_window!r}")
+        if self.sd_max_merge_blocks < 1:
+            raise ValueError("sd_max_merge_blocks must be >= 1")
+        if self.sd_flush_timeout <= 0:
+            raise ValueError("sd_flush_timeout must be positive")
+        if self.cpu_threads < 1:
+            raise ValueError("cpu_threads must be >= 1")
+        if self.verify_reads and not self.store_payloads:
+            raise ValueError("verify_reads requires store_payloads")

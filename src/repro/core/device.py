@@ -1,0 +1,500 @@
+"""The EDC block device (paper Fig 4): the layer below the file system.
+
+Ties the three functional modules together on the I/O path:
+
+**Write path** — arrival → Workload Monitor update → Sequentiality
+Detector merge/flush → policy codec selection at the observed intensity
+→ Compression Engine (gate, compress, 75 % rule) on the host CPU queue →
+size-class allocation + mapping update → Request Distributer write of
+the stored bytes → per-request response time recorded at device
+completion.
+
+**Read path** — arrival → SD flush (reads break write contiguity) →
+mapping resolution of every covered block → Distributer reads of the
+stored (compressed) bytes → decompression on the host CPU queue →
+response recorded when all pieces finish.
+
+The same device class runs every scheme in the paper's evaluation; only
+the :class:`~repro.core.policy.CompressionPolicy` and a couple of config
+flags differ, which is what makes the comparisons apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.compression.codec import CodecRegistry, default_registry
+from repro.compression.costmodel import CodecCostModel
+from repro.core.config import EDCConfig
+from repro.core.engine import CompressionEngine, WritePlan
+from repro.core.monitor import WorkloadMonitor
+from repro.core.policy import CompressionPolicy
+from repro.core.sequential import PendingRun, SequentialityDetector
+from repro.core.stats import CompressionStats
+from repro.core.distributer import RequestDistributer
+from repro.flash.allocator import SizeClassAllocator
+from repro.flash.mapping import MappingEntry, MappingTable
+from repro.flash.ssd import StorageBackend
+from repro.sdgen.generator import ContentStore
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.metrics import LatencyRecorder
+from repro.sim.queueing import Server
+from repro.traces.model import IORequest
+
+
+__all__ = ["EDCBlockDevice", "IntegrityError"]
+
+
+class IntegrityError(AssertionError):
+    """Raised in verify mode when read-back data mismatches what was written."""
+
+
+class EDCBlockDevice:
+    """Block-level (de)compression layer over a flash backend."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        backend: StorageBackend,
+        policy: CompressionPolicy,
+        content: ContentStore,
+        config: Optional[EDCConfig] = None,
+        registry: Optional[CodecRegistry] = None,
+        cost_model: Optional[CodecCostModel] = None,
+    ) -> None:
+        self.sim = sim
+        self.policy = policy
+        self.config = config if config is not None else EDCConfig()
+        cfg = self.config
+        if content.block_size != cfg.block_size:
+            raise ValueError(
+                f"content store block size {content.block_size} != "
+                f"device block size {cfg.block_size}"
+            )
+        self.content = content
+        self.registry = registry if registry is not None else default_registry()
+        self.allocator = SizeClassAllocator(cfg.block_size, cfg.size_class_fractions)
+        self.engine = CompressionEngine(
+            content,
+            registry=self.registry,
+            cost_model=cost_model,
+            incompressible_fraction=self.allocator.incompressible_fraction,
+            charge_estimation_cost=cfg.charge_estimation_cost,
+            keep_payloads=cfg.store_payloads,
+        )
+        if cfg.estimator_sample_fraction != self.engine.estimator.sample_fraction:
+            self.engine.estimator.sample_fraction = cfg.estimator_sample_fraction
+        self.monitor = WorkloadMonitor(cfg.monitor_window, cfg.block_size)
+        self.sd: Optional[SequentialityDetector] = (
+            SequentialityDetector(cfg.block_size, cfg.sd_max_merge_blocks)
+            if cfg.sd_enabled
+            else None
+        )
+        self.cpu = Server(sim, name="host-cpu", servers=cfg.cpu_threads)
+        self.distributer = RequestDistributer(backend)
+        self.mapping = MappingTable(cfg.block_size)
+        self.stats = CompressionStats()
+        self.write_latency = LatencyRecorder("write")
+        self.read_latency = LatencyRecorder("read")
+
+        #: per-block content version counters (bumped on every overwrite)
+        self._versions: Dict[int, int] = defaultdict(int)
+        #: entry id -> (content run ids, codec name) for reads/verification
+        self._entry_meta: Dict[int, Tuple[Tuple[int, ...], str]] = {}
+        self._sd_timer: Optional[EventHandle] = None
+        self._outstanding = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Requests submitted but not yet fully completed."""
+        return self._outstanding
+
+    def submit(self, request: IORequest) -> None:
+        """Process one request arriving *now* (``sim.now``)."""
+        self.monitor.record(self.sim.now, request.op, request.nbytes)
+        if request.is_write:
+            self._on_write(request)
+        else:
+            self._on_read(request)
+
+    def flush(self) -> None:
+        """End of stream: compress and write any run still pending in SD."""
+        if self.sd is not None:
+            for run in self.sd.flush_all():
+                self._process_run(run)
+        self._cancel_sd_timer()
+
+    # ------------------------------------------------------------------
+    # address helpers
+    # ------------------------------------------------------------------
+    def _align(self, lba: int, nbytes: int) -> Tuple[int, int]:
+        """Round a byte range out to whole logical blocks."""
+        bs = self.config.block_size
+        start = (lba // bs) * bs
+        end = ((lba + nbytes + bs - 1) // bs) * bs
+        return start, end - start
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def _on_write(self, request: IORequest) -> None:
+        self._outstanding += 1
+        lba, nbytes = self._align(request.lba, request.nbytes)
+        if self.sd is not None:
+            for run in self.sd.on_write(lba, nbytes, self.sim.now, ref=request):
+                self._process_run(run)
+            self._arm_sd_timer()
+        else:
+            self._process_run(PendingRun(lba, nbytes, [self.sim.now], [request]))
+
+    def _arm_sd_timer(self) -> None:
+        self._cancel_sd_timer()
+        if self.sd is not None and self.sd.pending is not None:
+            self._sd_timer = self.sim.schedule(
+                self.config.sd_flush_timeout, self._sd_timeout_fired
+            )
+
+    def _cancel_sd_timer(self) -> None:
+        if self._sd_timer is not None:
+            self.sim.cancel(self._sd_timer)
+            self._sd_timer = None
+
+    def _sd_timeout_fired(self) -> None:
+        self._sd_timer = None
+        if self.sd is not None:
+            for run in self.sd.flush_timeout():
+                self._process_run(run)
+
+    def _process_run(self, run: PendingRun) -> None:
+        """Compress (maybe) and store one flush unit."""
+        bs = self.config.block_size
+        start_blk = run.start_lba // bs
+        nblocks = (run.nbytes + bs - 1) // bs
+        versions = []
+        for i in range(nblocks):
+            blk = start_blk + i
+            self._versions[blk] += 1
+            versions.append(self._versions[blk])
+        run_ids = tuple(
+            self.content.block_id((start_blk + i) * bs, versions[i])
+            for i in range(nblocks)
+        )
+        iops = self.monitor.calculated_iops(self.sim.now)
+        hint = (
+            self.content.kind_of_id(run_ids[0])
+            if self.config.semantic_hints
+            else None
+        )
+        codec_name = self.policy.select_codec(iops, hint)
+        gate = self.policy.uses_gate and self.config.compressibility_gate
+        if gate and hint is not None:
+            exempt = getattr(self.policy, "gate_exempt", None)
+            if exempt is not None and exempt(hint):
+                # The hint already settles compressibility: skip the
+                # sampled estimation and its CPU cost.
+                gate = False
+        plan = self.engine.plan_write(run_ids, codec_name, gate)
+        if plan.gated:
+            self.stats.skipped_incompressible += 1
+        if plan.failed_75pct:
+            self.stats.failed_75pct += 1
+        if plan.policy_raw and codec_name is None and self.policy.name != "Native":
+            self.stats.skipped_intensity += 1
+
+        if plan.cpu_time > 0:
+            self.cpu.submit(
+                plan.cpu_time,
+                on_complete=lambda job: self._commit_write(run, plan, run_ids),
+                tag=("compress", start_blk),
+            )
+        else:
+            self._commit_write(run, plan, run_ids)
+
+    def _commit_write(
+        self, run: PendingRun, plan: WritePlan, run_ids: Tuple[int, ...]
+    ) -> None:
+        """Compression finished: allocate, map, and issue the device write."""
+        bs = self.config.block_size
+        nblocks = len(run_ids)
+        entry = MappingEntry(
+            lba=run.start_lba,
+            size=plan.payload_size,
+            tag=plan.tag,
+            span=nblocks,
+            original_size=plan.original_size,
+        )
+        eid, shadowed = self.mapping.insert(entry)
+        for old_id, _old_entry in shadowed:
+            self.allocator.free(old_id)
+            self.distributer.trim(old_id)
+            self._entry_meta.pop(old_id, None)
+        cls = self.allocator.allocate(eid, plan.payload_size, plan.original_size)
+        self._entry_meta[eid] = (run_ids, plan.codec_name)
+        self.stats.note_write(
+            codec_name=plan.codec_name,
+            logical=plan.original_size,
+            payload=plan.payload_size,
+            stored=cls.nbytes,
+            compressed=plan.is_compressed,
+            merged=nblocks > 1,
+        )
+        arrivals = list(run.arrivals)
+
+        def _device_done() -> None:
+            now = self.sim.now
+            for arrival in arrivals:
+                self.write_latency.add(now - arrival)
+                self._outstanding -= 1
+
+        stream = 0
+        if self.config.hot_cold_streams:
+            bs = self.config.block_size
+            start_blk = run.start_lba // bs
+            hottest = max(
+                self._versions[start_blk + i] for i in range(nblocks)
+            )
+            stream = 1 if hottest >= self.config.hot_version_threshold else 0
+        self.distributer.write(
+            eid, run.start_lba, cls.nbytes, _device_done, stream=stream
+        )
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def _on_read(self, request: IORequest) -> None:
+        self._outstanding += 1
+        if self.sd is not None:
+            for run in self.sd.on_read():
+                self._process_run(run)
+            self._cancel_sd_timer()
+        lba, nbytes = self._align(request.lba, request.nbytes)
+        pieces = self._resolve_read(lba, nbytes)
+        arrival = self.sim.now
+        remaining = [len(pieces)]
+
+        def _piece_done() -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                self.read_latency.add(self.sim.now - arrival)
+                self._outstanding -= 1
+
+        for piece in pieces:
+            self._issue_read_piece(piece, request, _piece_done)
+
+    def _resolve_read(
+        self, lba: int, nbytes: int
+    ) -> List[Tuple[Optional[int], int, int]]:
+        """Split an aligned read into (entry_id | None, lba, nbytes) pieces.
+
+        Blocks resolving to the same mapping entry coalesce into one
+        piece (the whole entry is fetched once); runs of unmapped blocks
+        coalesce into raw reads.
+        """
+        bs = self.config.block_size
+        pieces: List[Tuple[Optional[int], int, int]] = []
+        seen_entries: set[int] = set()
+        raw_start: Optional[int] = None
+        raw_len = 0
+        for blk in range(lba // bs, (lba + nbytes) // bs):
+            hit = self.mapping.lookup(blk * bs)
+            if hit is None:
+                if raw_start is None:
+                    raw_start = blk * bs
+                raw_len += bs
+                continue
+            if raw_start is not None:
+                pieces.append((None, raw_start, raw_len))
+                raw_start, raw_len = None, 0
+            eid, _entry = hit
+            if eid not in seen_entries:
+                seen_entries.add(eid)
+                pieces.append((eid, blk * bs, 0))
+        if raw_start is not None:
+            pieces.append((None, raw_start, raw_len))
+        return pieces
+
+    def _issue_read_piece(
+        self,
+        piece: Tuple[Optional[int], int, int],
+        request: IORequest,
+        done,
+    ) -> None:
+        eid, lba, raw_len = piece
+        if eid is None:
+            # Unmapped (never-written) range: raw-size device read.
+            self.distributer.read(None, lba, raw_len, done)
+            return
+        entry = self.mapping.get(eid)
+        if entry is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"read resolved to reclaimed entry {eid}")
+        stored = max(1, entry.size)
+        # Snapshot the metadata now: a concurrent overwrite may shadow the
+        # entry before the device read completes, but out-of-place updates
+        # keep the old extent's data readable until GC reclaims it.
+        run_ids, codec_name = self._entry_meta[eid]
+
+        def _after_device() -> None:
+            dec = self.engine.decompress_time(codec_name, entry.original_size)
+            if self.config.verify_reads:
+                self._verify_entry(run_ids, codec_name, entry, request)
+            if dec > 0:
+                self.cpu.submit(
+                    dec, on_complete=lambda job: done(), tag=("decompress", eid)
+                )
+            else:
+                done()
+
+        self.distributer.read(eid, entry.lba, stored, _after_device)
+
+    def _verify_entry(
+        self,
+        run_ids: Tuple[int, ...],
+        codec_name: str,
+        entry: MappingEntry,
+        request: IORequest,
+    ) -> None:
+        """Decompress the stored payload and compare with expected content."""
+        expected = self.content.data_for_run(run_ids)
+        if codec_name == "none":
+            actual = expected  # raw storage is bit-identical by construction
+        else:
+            codec = self.registry.get(codec_name)
+            payload = self.content.compressed_payload(run_ids, codec)
+            actual = codec.decompress(payload, entry.original_size)
+        if actual != expected:
+            raise IntegrityError(
+                f"read of lba {request.lba} (codec {codec_name}) "
+                f"returned corrupt data"
+            )
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def defragment(
+        self,
+        max_entries: int = 64,
+        live_threshold: float = 0.5,
+        codec_name: Optional[str] = "gzip",
+    ) -> int:
+        """Rewrite partially-shadowed merged runs to reclaim zombie space.
+
+        Overlay mapping semantics keep a merged run's storage allocated
+        until *every* block it covered is overwritten; runs that are
+        mostly shadowed therefore hold dead bytes.  This pass rewrites
+        the still-live blocks of up to ``max_entries`` such runs (live
+        fraction below ``live_threshold``) as fresh entries, letting the
+        old storage go.  It is idle-period work, exactly like EDC's
+        high-ratio compression — ``codec_name`` defaults to the strong
+        codec for the same reason (``None`` = store raw).
+
+        Returns the number of entries rewritten.  CPU and device costs
+        are charged through the normal write path, so calling this
+        during load shows up in response times like any background task
+        would.
+        """
+        if not 0 < live_threshold <= 1:
+            raise ValueError(f"live_threshold must be in (0,1]: {live_threshold!r}")
+        bs = self.config.block_size
+        victims = []
+        for eid in list(self.mapping.entry_ids()):
+            entry = self.mapping.get(eid)
+            if entry is None or entry.span <= 1:
+                continue
+            frac = self.mapping.live_fraction(eid)
+            if 0.0 < frac < live_threshold:
+                victims.append(eid)
+            if len(victims) >= max_entries:
+                break
+        rewritten = 0
+        for eid in victims:
+            meta = self._entry_meta.get(eid)
+            entry = self.mapping.get(eid)
+            if meta is None or entry is None:
+                continue
+            run_ids, _old_codec = meta
+            start_blk = self.mapping.block_of(entry.lba)
+            blocks = self.mapping.covered_blocks_of(eid)
+            if not blocks:
+                continue
+            # Coalesce the surviving blocks into contiguous sub-runs and
+            # rewrite each at its *current* content version.
+            runs: List[List[int]] = [[blocks[0], 1]]
+            for blk in blocks[1:]:
+                s, length = runs[-1]
+                if blk == s + length:
+                    runs[-1][1] += 1
+                else:
+                    runs.append([blk, 1])
+            for s, length in runs:
+                sub_ids = tuple(run_ids[s - start_blk + i] for i in range(length))
+                plan = self.engine.plan_write(sub_ids, codec_name, gate=False)
+                self._outstanding += 1
+                synthetic = PendingRun(s * bs, length * bs, [self.sim.now], [None])
+                if plan.cpu_time > 0:
+                    self.cpu.submit(
+                        plan.cpu_time,
+                        on_complete=lambda job, r=synthetic, p=plan, ids=sub_ids,
+                        old=eid: self._commit_defrag(r, p, ids, old),
+                        tag=("defrag", s),
+                    )
+                else:
+                    self._commit_defrag(synthetic, plan, sub_ids, eid)
+            rewritten += 1
+        return rewritten
+
+    def _commit_defrag(
+        self,
+        run: PendingRun,
+        plan: WritePlan,
+        run_ids: Tuple[int, ...],
+        old_eid: int,
+    ) -> None:
+        """Like :meth:`_commit_write` but without version bumps or write
+        statistics — the logical data is unchanged, only re-placed."""
+        # A host write may have overwritten part of this range while the
+        # defrag compression was queued; re-inserting stale data over it
+        # would corrupt the mapping, so skip the sub-run in that case.
+        bs = self.config.block_size
+        start_blk = run.start_lba // bs
+        still_owned = set(self.mapping.covered_blocks_of(old_eid))
+        if any(
+            start_blk + i not in still_owned for i in range(len(run_ids))
+        ):
+            self._outstanding -= 1
+            return
+        entry = MappingEntry(
+            lba=run.start_lba,
+            size=plan.payload_size,
+            tag=plan.tag,
+            span=len(run_ids),
+            original_size=plan.original_size,
+        )
+        eid, shadowed = self.mapping.insert(entry)
+        for old_id, _old in shadowed:
+            self.allocator.free(old_id)
+            self.distributer.trim(old_id)
+            self._entry_meta.pop(old_id, None)
+        cls = self.allocator.allocate(eid, plan.payload_size, plan.original_size)
+        self._entry_meta[eid] = (run_ids, plan.codec_name)
+
+        def _done() -> None:
+            self._outstanding -= 1
+
+        self.distributer.write(eid, run.start_lba, cls.nbytes, lambda: _done())
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def compression_ratio(self) -> float:
+        return self.stats.compression_ratio
+
+    def mean_response_time(self) -> float:
+        """Mean response over all requests (the paper's headline metric)."""
+        n = self.write_latency.count + self.read_latency.count
+        if n == 0:
+            return 0.0
+        return (self.write_latency.total() + self.read_latency.total()) / n

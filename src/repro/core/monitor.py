@@ -1,0 +1,80 @@
+"""The Workload Monitor (paper §III-D, Fig 4).
+
+Monitors the I/O stream and quantifies intensity as **calculated IOPS**:
+the number of 4 KB-page-equivalents issued per second, so that one 8 KB
+request counts as two 4 KB requests.  The Compression Engine consults
+the monitor on every write to pick the band-appropriate codec (Fig 6's
+feedback loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.metrics import WindowRate
+
+__all__ = ["WorkloadMonitor", "MonitorSnapshot"]
+
+
+@dataclass(frozen=True)
+class MonitorSnapshot:
+    """The monitor's view of the workload at one instant."""
+
+    time: float
+    calculated_iops: float
+    raw_iops: float
+    read_fraction: float
+
+
+class WorkloadMonitor:
+    """Sliding-window I/O intensity measurement.
+
+    ``record`` must be called with non-decreasing timestamps (the replay
+    loop guarantees this); ``calculated_iops`` may be queried at any
+    time at or after the last recorded event.
+    """
+
+    def __init__(self, window: float = 1.0, page_size: int = 4096) -> None:
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive: {page_size!r}")
+        self.page_size = page_size
+        self.window = window
+        self._pages = WindowRate(window)
+        self._requests = WindowRate(window)
+        self._reads = WindowRate(window)
+        self.total_requests = 0
+        self.total_pages = 0
+
+    def pages_of(self, nbytes: int) -> int:
+        """4 KB-equivalents of a request (always at least one)."""
+        if nbytes <= 0:
+            raise ValueError(f"request size must be positive: {nbytes!r}")
+        return max(1, (nbytes + self.page_size - 1) // self.page_size)
+
+    def record(self, time: float, op: str, nbytes: int) -> None:
+        """Note one request entering the system."""
+        pages = self.pages_of(nbytes)
+        self._pages.record(time, pages)
+        self._requests.record(time, 1.0)
+        self._reads.record(time, 1.0 if op == "R" else 0.0)
+        self.total_requests += 1
+        self.total_pages += pages
+
+    # ------------------------------------------------------------------
+    def calculated_iops(self, now: float) -> float:
+        """4 KB-normalised I/Os per second over the trailing window."""
+        return self._pages.rate(now)
+
+    def raw_iops(self, now: float) -> float:
+        """Request arrivals per second over the trailing window."""
+        return self._requests.rate(now)
+
+    def snapshot(self, now: float) -> MonitorSnapshot:
+        raw = self._requests.total_in_window(now)
+        reads = self._reads.total_in_window(now)
+        return MonitorSnapshot(
+            time=now,
+            calculated_iops=self._pages.rate(now),
+            raw_iops=raw / self.window,
+            read_fraction=(reads / raw) if raw > 0 else 0.0,
+        )

@@ -1,0 +1,84 @@
+"""Compression and replay statistics for one device / scheme run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["CompressionStats"]
+
+
+@dataclass
+class CompressionStats:
+    """Byte and decision accounting on the write path.
+
+    The paper's space metric is the compression ratio *as stored*:
+    logical bytes written divided by physical bytes allocated (size-class
+    rounding included), which is what the capacity planner experiences.
+    """
+
+    logical_bytes: int = 0
+    #: compressed payload bytes before size-class rounding
+    payload_bytes: int = 0
+    #: physical bytes allocated (size-class rounded)
+    stored_bytes: int = 0
+    writes: int = 0
+    compressed_writes: int = 0
+    skipped_intensity: int = 0
+    skipped_incompressible: int = 0
+    #: stored-raw because compressed size exceeded the 75 % threshold
+    failed_75pct: int = 0
+    merged_runs: int = 0
+    per_codec_writes: Dict[str, int] = field(default_factory=dict)
+    per_codec_logical_bytes: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def note_write(
+        self,
+        codec_name: str,
+        logical: int,
+        payload: int,
+        stored: int,
+        compressed: bool,
+        merged: bool,
+    ) -> None:
+        self.writes += 1
+        self.logical_bytes += logical
+        self.payload_bytes += payload
+        self.stored_bytes += stored
+        if compressed:
+            self.compressed_writes += 1
+        if merged:
+            self.merged_runs += 1
+        self.per_codec_writes[codec_name] = self.per_codec_writes.get(codec_name, 0) + 1
+        self.per_codec_logical_bytes[codec_name] = (
+            self.per_codec_logical_bytes.get(codec_name, 0) + logical
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def compression_ratio(self) -> float:
+        """Logical bytes / stored bytes (paper's definition; >= 1 is good)."""
+        if self.stored_bytes == 0:
+            return 1.0
+        return self.logical_bytes / self.stored_bytes
+
+    @property
+    def payload_ratio(self) -> float:
+        """Logical bytes / compressed payload bytes (pre-rounding)."""
+        if self.payload_bytes == 0:
+            return 1.0
+        return self.logical_bytes / self.payload_bytes
+
+    @property
+    def space_saving(self) -> float:
+        """Fraction of logical bytes not stored (paper's 'saves up to 38.7%')."""
+        if self.logical_bytes == 0:
+            return 0.0
+        return 1.0 - self.stored_bytes / self.logical_bytes
+
+    def codec_shares(self) -> Dict[str, float]:
+        """Fraction of writes handled by each codec."""
+        if self.writes == 0:
+            return {}
+        return {k: v / self.writes for k, v in self.per_codec_writes.items()}

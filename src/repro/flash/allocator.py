@@ -1,0 +1,189 @@
+"""EDC's size-class space allocator (paper §III-C).
+
+Compression shrinks fixed 4 KB logical blocks into variable-size
+payloads, and out-of-place updates mean a re-compressed block may no
+longer fit where its previous version lived.  EDC sidesteps per-byte
+fragmentation by allocating *size-class* slots: 25 %, 50 %, 75 % or
+100 % of the uncompressed block size.  A block whose compressed form
+exceeds 75 % of the original "is considered to be non-compressible and
+kept in its uncompressed form".
+
+This module does the space accounting: class selection, slot alloc/free
+with per-class free lists, physical byte usage and internal
+fragmentation — the numbers behind the paper's space-efficiency results
+(Fig 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Sequence, Tuple
+
+__all__ = ["SizeClassAllocator", "SlotClass", "AllocatorStats"]
+
+
+@dataclass(frozen=True)
+class SlotClass:
+    """One allocation size class."""
+
+    fraction: float
+    nbytes: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SlotClass({self.fraction:.2f}, {self.nbytes}B)"
+
+
+@dataclass
+class AllocatorStats:
+    allocations: int = 0
+    frees: int = 0
+    recycled: int = 0
+    #: sum of (slot size - payload size) over live slots
+    internal_fragmentation: int = 0
+
+
+class SizeClassAllocator:
+    """Slot allocator with the paper's 25/50/75/100 % classes.
+
+    Parameters
+    ----------
+    block_size:
+        The uncompressed logical block size (4096 in the paper).
+    fractions:
+        Size-class fractions in ascending order; the largest must be 1.0
+        (uncompressed).  The *incompressibility threshold* is the largest
+        fraction below 1.0 — payloads bigger than that are stored raw.
+    """
+
+    def __init__(
+        self,
+        block_size: int = 4096,
+        fractions: Sequence[float] = (0.25, 0.50, 0.75, 1.0),
+    ) -> None:
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive: {block_size!r}")
+        fr = sorted(fractions)
+        if not fr or fr[-1] != 1.0:
+            raise ValueError("largest size class must be 1.0 (uncompressed)")
+        if fr[0] <= 0:
+            raise ValueError("size-class fractions must be positive")
+        if len(set(fr)) != len(fr):
+            raise ValueError("duplicate size-class fractions")
+        self.block_size = block_size
+        self.classes: Tuple[SlotClass, ...] = tuple(
+            SlotClass(f, int(round(f * block_size))) for f in fr
+        )
+        self.stats = AllocatorStats()
+        self._free: Dict[int, int] = {c.nbytes: 0 for c in self.classes}
+        self._live: Dict[Hashable, Tuple[SlotClass, int]] = {}
+        self._physical_bytes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def incompressible_fraction(self) -> float:
+        """Fraction of the original above which data is stored raw."""
+        below_full = [c for c in self.classes if c.fraction < 1.0]
+        return below_full[-1].fraction if below_full else 1.0
+
+    @property
+    def incompressible_threshold(self) -> int:
+        """Payloads larger than this many bytes are stored uncompressed
+        (for a single block of ``block_size``)."""
+        return int(self.incompressible_fraction * self.block_size)
+
+    def class_for(
+        self, payload_size: int, original_size: Optional[int] = None
+    ) -> SlotClass:
+        """Smallest class that fits ``payload_size``.
+
+        ``original_size`` scales the class sizes for merged runs (it
+        defaults to one block).  Payloads above the incompressibility
+        threshold — or above the original, for incompressible data that
+        *grew* — get the full 1.0 class; the caller stores raw then.
+        """
+        if payload_size < 0:
+            raise ValueError(f"negative payload size: {payload_size!r}")
+        orig = self.block_size if original_size is None else original_size
+        if orig <= 0:
+            raise ValueError(f"original size must be positive: {orig!r}")
+        for c in self.classes:
+            if payload_size <= int(round(c.fraction * orig)):
+                return SlotClass(c.fraction, int(round(c.fraction * orig)))
+        return SlotClass(1.0, orig)
+
+    def is_compressible_size(
+        self, payload_size: int, original_size: Optional[int] = None
+    ) -> bool:
+        """True when storing ``payload_size`` compressed actually saves a class."""
+        orig = self.block_size if original_size is None else original_size
+        return 0 <= payload_size <= self.incompressible_fraction * orig
+
+    # ------------------------------------------------------------------
+    def allocate(
+        self,
+        key: Hashable,
+        payload_size: int,
+        original_size: Optional[int] = None,
+    ) -> SlotClass:
+        """Allocate a slot for ``key``; frees any previous slot for it.
+
+        Returns the chosen class.  Per-class free lists are recycled
+        before new physical space is claimed, so repeated overwrite at a
+        stable compressibility reuses space (§III-C's anti-fragmentation
+        argument).
+        """
+        if key in self._live:
+            self.free(key)
+        cls = self.class_for(payload_size, original_size)
+        stored = min(payload_size, cls.nbytes) if cls.fraction == 1.0 else payload_size
+        if self._free.get(cls.nbytes, 0) > 0:
+            self._free[cls.nbytes] -= 1
+            self.stats.recycled += 1
+        else:
+            self._physical_bytes += cls.nbytes
+        self._live[key] = (cls, stored)
+        self.stats.allocations += 1
+        self.stats.internal_fragmentation += cls.nbytes - stored
+        return cls
+
+    def free(self, key: Hashable) -> bool:
+        """Release the slot held by ``key``; returns ``True`` if it existed."""
+        entry = self._live.pop(key, None)
+        if entry is None:
+            return False
+        cls, stored = entry
+        self._free[cls.nbytes] = self._free.get(cls.nbytes, 0) + 1
+        self.stats.frees += 1
+        self.stats.internal_fragmentation -= cls.nbytes - stored
+        return True
+
+    def lookup(self, key: Hashable) -> Optional[Tuple[SlotClass, int]]:
+        """Live ``(class, stored_payload_size)`` for ``key``, if any."""
+        return self._live.get(key)
+
+    # ------------------------------------------------------------------
+    @property
+    def live_slots(self) -> int:
+        return len(self._live)
+
+    @property
+    def physical_bytes(self) -> int:
+        """Physical bytes ever claimed (live slots + recyclable free slots)."""
+        return self._physical_bytes
+
+    @property
+    def live_physical_bytes(self) -> int:
+        """Physical bytes held by live slots only."""
+        return sum(cls.nbytes for cls, _ in self._live.values())
+
+    @property
+    def live_payload_bytes(self) -> int:
+        """Payload bytes inside live slots (excludes internal fragmentation)."""
+        return sum(stored for _, stored in self._live.values())
+
+    def class_histogram(self) -> Dict[float, int]:
+        """Live slot count per class fraction."""
+        hist = {c.fraction: 0 for c in self.classes}
+        for cls, _ in self._live.values():
+            hist[cls.fraction] += 1
+        return hist

@@ -1,0 +1,122 @@
+"""Flash endurance and lifetime projection (paper §III-A, §VI).
+
+One of EDC's three design objectives is *improving the system
+reliability*: "the number of block erase cycles [is] significantly
+reduced, which improves the system reliability accordingly."  The paper
+leaves quantifying this to future work; this module does the
+bookkeeping.
+
+NAND blocks endure a bounded number of program/erase (PE) cycles —
+~100 k for the paper's SLC X25-E, ~3 k for MLC, ~1 k for TLC (§I's
+density/endurance trade-off).  Given the erase counts the
+:class:`~repro.flash.gc.GreedyCollector` records during a replay, the
+model projects device lifetime under the observed workload and compares
+schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.flash.ftl import ExtentFTL
+from repro.flash.geometry import NandGeometry
+
+__all__ = ["CellType", "EnduranceModel", "EnduranceReport", "PE_LIMITS"]
+
+#: Typical program/erase cycle limits per cell technology (§I).
+PE_LIMITS: Dict[str, int] = {
+    "SLC": 100_000,
+    "MLC": 3_000,
+    "TLC": 1_000,
+}
+
+CellType = str
+
+
+@dataclass(frozen=True)
+class EnduranceReport:
+    """Wear outcome of one replay."""
+
+    cell_type: str
+    pe_limit: int
+    total_erases: int
+    max_block_erases: int
+    mean_block_erases: float
+    host_bytes: int
+    physical_bytes: int
+    write_amplification: float
+    observed_seconds: float
+
+    @property
+    def wear_fraction(self) -> float:
+        """Worst-case wear consumed: max erases / PE limit."""
+        return self.max_block_erases / self.pe_limit
+
+    @property
+    def projected_lifetime_seconds(self) -> float:
+        """Time until the most-worn block exhausts its PE budget,
+        extrapolating the observed erase rate."""
+        if self.max_block_erases == 0 or self.observed_seconds <= 0:
+            return float("inf")
+        rate = self.max_block_erases / self.observed_seconds
+        remaining = self.pe_limit - self.max_block_erases
+        return remaining / rate
+
+    def lifetime_vs(self, other: "EnduranceReport") -> float:
+        """How many times longer this device lasts than ``other``."""
+        a, b = self.projected_lifetime_seconds, other.projected_lifetime_seconds
+        if b == float("inf"):
+            return 1.0 if a == float("inf") else 0.0
+        if a == float("inf"):
+            return float("inf")
+        return a / b
+
+
+class EnduranceModel:
+    """Turns FTL wear statistics into lifetime projections."""
+
+    def __init__(self, cell_type: CellType = "SLC") -> None:
+        if cell_type not in PE_LIMITS:
+            raise ValueError(
+                f"unknown cell type {cell_type!r}; known: {sorted(PE_LIMITS)}"
+            )
+        self.cell_type = cell_type
+        self.pe_limit = PE_LIMITS[cell_type]
+
+    def report(self, ftl: ExtentFTL, observed_seconds: float) -> EnduranceReport:
+        """Summarise the wear a replay inflicted on one FTL."""
+        if observed_seconds < 0:
+            raise ValueError(f"negative horizon: {observed_seconds!r}")
+        counts = ftl.collector.stats.erase_counts
+        values = np.array(list(counts.values()), dtype=np.float64)
+        host = ftl.stats.host_bytes
+        physical = host + ftl.stats.relocated_bytes
+        return EnduranceReport(
+            cell_type=self.cell_type,
+            pe_limit=self.pe_limit,
+            total_erases=ftl.collector.stats.erases,
+            max_block_erases=int(values.max()) if values.size else 0,
+            mean_block_erases=float(values.mean()) if values.size else 0.0,
+            host_bytes=host,
+            physical_bytes=physical,
+            write_amplification=ftl.stats.write_amplification(),
+            observed_seconds=observed_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def drive_writes_per_day(
+        self, geometry: NandGeometry, report: EnduranceReport
+    ) -> float:
+        """DWPD rating the device could sustain to end-of-life.
+
+        DWPD = how many full-capacity host writes per day the device
+        survives over a nominal 5-year service life, given the observed
+        write amplification.
+        """
+        service_days = 5 * 365
+        total_pe_budget = self.pe_limit * geometry.nblocks * geometry.block_bytes
+        usable_host_bytes = total_pe_budget / max(report.write_amplification, 1.0)
+        return usable_host_bytes / (geometry.logical_bytes * service_days)

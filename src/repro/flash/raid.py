@@ -1,0 +1,460 @@
+"""RAIS — Redundant Arrays of Independent SSDs (paper §IV-B, Fig 11).
+
+The paper validates EDC on a software RAID-5 array of five X25-E SSDs
+("RAIS5").  This module provides:
+
+- :class:`RAIS0` — striping without redundancy; a request is split on
+  stripe-unit boundaries and sub-requests proceed in parallel on their
+  devices, completing when the slowest finishes.
+- :class:`RAIS5` — block-interleaved distributed parity.  Small writes
+  pay the classic read-modify-write penalty (read old data + old parity,
+  write new data + new parity); writes that cover a full stripe row skip
+  the reads and write data plus computed parity directly.
+
+Both classes implement the same :class:`~repro.flash.ssd.StorageBackend`
+protocol as a single SSD, so the EDC layer is oblivious to which it
+drives — exactly the paper's claim that EDC "directly controls the
+underlying flash-based storage system that can be either a single SSD
+[or] an SSD-based disk array".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Optional, Sequence
+
+from repro.flash.ssd import SimulatedSSD
+
+__all__ = ["RAIS0", "RAIS5", "ArrayStats"]
+
+
+@dataclass
+class ArrayStats:
+    reads: int = 0
+    writes: int = 0
+    rmw_writes: int = 0
+    full_stripe_writes: int = 0
+    degraded_reads: int = 0
+    degraded_writes: int = 0
+    rebuilt_rows: int = 0
+
+
+class _Barrier:
+    """Invokes ``on_complete`` after ``count`` sub-completions."""
+
+    def __init__(self, count: int, on_complete: Optional[Callable[[], None]]) -> None:
+        if count <= 0:
+            raise ValueError(f"barrier count must be positive: {count!r}")
+        self.remaining = count
+        self.on_complete = on_complete
+
+    def arrive(self) -> None:
+        self.remaining -= 1
+        if self.remaining < 0:
+            raise RuntimeError("barrier over-released")
+        if self.remaining == 0 and self.on_complete is not None:
+            self.on_complete()
+
+
+def _split_units(lba: int, nbytes: int, unit: int) -> list[tuple[int, int, int]]:
+    """Split ``[lba, lba+nbytes)`` on ``unit`` boundaries.
+
+    Returns ``(unit_index, offset_in_unit, length)`` triples.
+    """
+    if nbytes <= 0:
+        raise ValueError(f"request size must be positive: {nbytes!r}")
+    out = []
+    pos = lba
+    end = lba + nbytes
+    while pos < end:
+        uidx = pos // unit
+        off = pos - uidx * unit
+        length = min(unit - off, end - pos)
+        out.append((uidx, off, length))
+        pos += length
+    return out
+
+
+class RAIS0:
+    """Striping (RAID-0) over ``devices`` with ``stripe_unit``-byte units."""
+
+    def __init__(self, devices: Sequence[SimulatedSSD], stripe_unit: int = 4096) -> None:
+        if len(devices) < 2:
+            raise ValueError("RAIS0 needs at least 2 devices")
+        if stripe_unit <= 0:
+            raise ValueError(f"stripe_unit must be positive: {stripe_unit!r}")
+        self.devices = list(devices)
+        self.stripe_unit = stripe_unit
+        self.stats = ArrayStats()
+
+    def _device_for(self, unit_idx: int) -> tuple[SimulatedSSD, int]:
+        n = len(self.devices)
+        dev = self.devices[unit_idx % n]
+        local_unit = unit_idx // n
+        return dev, local_unit
+
+    def submit_write(
+        self,
+        lba: int,
+        nbytes: int,
+        on_complete: Optional[Callable[[], None]] = None,
+        key: Optional[Hashable] = None,
+    ) -> None:
+        parts = _split_units(lba, nbytes, self.stripe_unit)
+        barrier = _Barrier(len(parts), on_complete)
+        self.stats.writes += 1
+        for i, (uidx, off, length) in enumerate(parts):
+            dev, local_unit = self._device_for(uidx)
+            sub_key = (key if key is not None else lba, i)
+            dev.submit_write(
+                local_unit * self.stripe_unit + off,
+                length,
+                on_complete=barrier.arrive,
+                key=sub_key,
+            )
+
+    def submit_read(
+        self,
+        lba: int,
+        nbytes: int,
+        on_complete: Optional[Callable[[], None]] = None,
+        key: Optional[Hashable] = None,
+    ) -> None:
+        parts = _split_units(lba, nbytes, self.stripe_unit)
+        barrier = _Barrier(len(parts), on_complete)
+        self.stats.reads += 1
+        for i, (uidx, off, length) in enumerate(parts):
+            dev, local_unit = self._device_for(uidx)
+            dev.submit_read(
+                local_unit * self.stripe_unit + off,
+                length,
+                on_complete=barrier.arrive,
+                key=(key if key is not None else lba, i),
+            )
+
+    def trim(self, key: Hashable) -> bool:
+        return _trim_pieces(self.devices, key)
+
+
+def _trim_pieces(devices, key: Hashable) -> bool:
+    """Trim sub-extents ``(key, 0..)`` wherever they live in the array.
+
+    Pieces are distributed round-robin, so each index must be probed on
+    every device; probing stops at the first index no device holds.
+    """
+    found = False
+    i = 0
+    while True:
+        hit = False
+        for dev in devices:
+            if dev.trim((key, i)):
+                hit = True
+                found = True
+                break
+        if not hit:
+            return found
+        i += 1
+
+
+class RAIS5:
+    """Block-interleaved distributed parity (RAID-5) over ``devices``.
+
+    Data unit ``d`` lives in stripe row ``d // (n-1)``; the parity unit
+    of row ``r`` rotates over devices as ``n - 1 - (r % n)`` (right-
+    asymmetric layout).  Data units of a row occupy the remaining
+    devices in order.
+    """
+
+    def __init__(self, devices: Sequence[SimulatedSSD], stripe_unit: int = 4096) -> None:
+        if len(devices) < 3:
+            raise ValueError("RAIS5 needs at least 3 devices")
+        if stripe_unit <= 0:
+            raise ValueError(f"stripe_unit must be positive: {stripe_unit!r}")
+        self.devices = list(devices)
+        self.stripe_unit = stripe_unit
+        self.stats = ArrayStats()
+        #: index of the (at most one) failed member, or None
+        self._failed: Optional[int] = None
+        #: stripe rows that hold data (for rebuild coverage)
+        self._touched_rows: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # failure handling (single-fault tolerance)
+    # ------------------------------------------------------------------
+    @property
+    def failed_device(self) -> Optional[int]:
+        return self._failed
+
+    @property
+    def degraded(self) -> bool:
+        return self._failed is not None
+
+    def fail_device(self, idx: int) -> None:
+        """Mark one member failed; the array continues in degraded mode."""
+        if not 0 <= idx < len(self.devices):
+            raise ValueError(f"no device {idx} in a {len(self.devices)}-wide array")
+        if self._failed is not None:
+            raise RuntimeError(
+                f"device {self._failed} already failed; RAID-5 tolerates one fault"
+            )
+        self._failed = idx
+
+    def rebuild(
+        self,
+        replacement: SimulatedSSD,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Replace the failed member and reconstruct its contents.
+
+        For every touched stripe row, the surviving ``n-1`` units are
+        read and the missing unit is written to ``replacement`` (XOR
+        reconstruction).  Completion fires when every row is rebuilt.
+        """
+        if self._failed is None:
+            raise RuntimeError("no failed device to rebuild")
+        failed = self._failed
+        rows = sorted(self._touched_rows)
+        self.devices[failed] = replacement
+        self._failed = None
+        if not rows:
+            if on_complete is not None:
+                on_complete()
+            return
+        n = len(self.devices)
+        barrier = _Barrier(len(rows) * n, on_complete)
+        for row in rows:
+            local = row * self.stripe_unit
+            for idx, dev in enumerate(self.devices):
+                if idx == failed:
+                    continue
+                dev.submit_read(
+                    local, self.stripe_unit, on_complete=barrier.arrive,
+                    key=("RB", row, idx),
+                )
+            replacement.submit_write(
+                local, self.stripe_unit, on_complete=barrier.arrive,
+                key=("RB", row),
+            )
+            self.stats.rebuilt_rows += 1
+
+    # ------------------------------------------------------------------
+    def _layout(self, unit_idx: int) -> tuple[int, int, int]:
+        """Map data unit index -> (row, data_device, parity_device)."""
+        n = len(self.devices)
+        row = unit_idx // (n - 1)
+        pos = unit_idx % (n - 1)
+        parity_dev = n - 1 - (row % n)
+        data_dev = pos if pos < parity_dev else pos + 1
+        return row, data_dev, parity_dev
+
+    @property
+    def data_devices(self) -> int:
+        return len(self.devices) - 1
+
+    def _row_of(self, unit_idx: int) -> int:
+        return unit_idx // self.data_devices
+
+    # ------------------------------------------------------------------
+    def submit_write(
+        self,
+        lba: int,
+        nbytes: int,
+        on_complete: Optional[Callable[[], None]] = None,
+        key: Optional[Hashable] = None,
+    ) -> None:
+        parts = _split_units(lba, nbytes, self.stripe_unit)
+        self.stats.writes += 1
+        failed = self._failed
+        # Group parts by stripe row to detect full-stripe writes.
+        rows: dict[int, list[tuple[int, int, int, int]]] = {}
+        for i, (uidx, off, length) in enumerate(parts):
+            row = self._row_of(uidx)
+            rows.setdefault(row, []).append((i, uidx, off, length))
+            self._touched_rows.add(row)
+        total_ops = 0
+        plans: list[tuple[str, list[tuple[int, int, int, int]], int]] = []
+        for row, row_parts in rows.items():
+            parity_dev = len(self.devices) - 1 - (row % len(self.devices))
+            full = (
+                len(row_parts) == self.data_devices
+                and all(off == 0 and ln == self.stripe_unit for _, _, off, ln in row_parts)
+            )
+            if full:
+                # data writes + one parity write, no reads; failed member
+                # (data or parity) is simply skipped.
+                plans.append(("full", row_parts, row))
+                total_ops += sum(
+                    1 for _, uidx, _, _ in row_parts
+                    if self._layout(uidx)[1] != failed
+                )
+                total_ops += 0 if parity_dev == failed else 1
+            else:
+                for _, uidx, _, _ in row_parts:
+                    data_dev = self._layout(uidx)[1]
+                    if data_dev == failed:
+                        # Degraded write to the lost member: read the
+                        # surviving data units, write new parity only.
+                        total_ops += (len(self.devices) - 2) + 1
+                    elif parity_dev == failed:
+                        # Parity lost: plain data write, no RMW.
+                        total_ops += 1
+                    else:
+                        # Normal RMW: 2 reads + 2 writes.
+                        total_ops += 4
+                plans.append(("rmw", row_parts, row))
+        barrier = _Barrier(total_ops, on_complete)
+        base_key = key if key is not None else lba
+        for kind, row_parts, row in plans:
+            parity_dev_idx = len(self.devices) - 1 - (row % len(self.devices))
+            parity = self.devices[parity_dev_idx]
+            parity_failed = parity_dev_idx == failed
+            if kind == "full":
+                self.stats.full_stripe_writes += 1
+                for i, uidx, off, length in row_parts:
+                    _, data_dev, _ = self._layout(uidx)
+                    if data_dev == failed:
+                        self.stats.degraded_writes += 1
+                        continue
+                    self.devices[data_dev].submit_write(
+                        row * self.stripe_unit + off,
+                        length,
+                        on_complete=barrier.arrive,
+                        key=(base_key, i),
+                    )
+                if not parity_failed:
+                    parity.submit_write(
+                        row * self.stripe_unit,
+                        self.stripe_unit,
+                        on_complete=barrier.arrive,
+                        key=("P", row),
+                    )
+            else:
+                self.stats.rmw_writes += 1
+                for i, uidx, off, length in row_parts:
+                    _, data_dev, _ = self._layout(uidx)
+                    local = row * self.stripe_unit + off
+                    dkey = (base_key, i)
+                    pkey = ("P", row)
+                    if data_dev == failed:
+                        self._degraded_unit_write(
+                            row, local, length, pkey, parity, barrier
+                        )
+                        continue
+                    data = self.devices[data_dev]
+                    if parity_failed:
+                        self.stats.degraded_writes += 1
+                        data.submit_write(
+                            local, length, on_complete=barrier.arrive, key=dkey
+                        )
+                        continue
+
+                    # Read-modify-write: the two reads must finish before
+                    # the two writes start.
+                    reads_left = [2]
+
+                    def _read_done(
+                        reads_left: list[int] = reads_left,
+                        data: SimulatedSSD = data,
+                        parity: SimulatedSSD = parity,
+                        local: int = local,
+                        length: int = length,
+                        dkey: Hashable = dkey,
+                        pkey: Hashable = pkey,
+                        barrier: _Barrier = barrier,
+                    ) -> None:
+                        barrier.arrive()
+                        reads_left[0] -= 1
+                        if reads_left[0] == 0:
+                            data.submit_write(
+                                local, length, on_complete=barrier.arrive, key=dkey
+                            )
+                            parity.submit_write(
+                                local, length, on_complete=barrier.arrive, key=pkey
+                            )
+
+                    data.submit_read(local, length, on_complete=_read_done, key=dkey)
+                    parity.submit_read(local, length, on_complete=_read_done, key=pkey)
+
+    def _degraded_unit_write(
+        self,
+        row: int,
+        local: int,
+        length: int,
+        pkey: Hashable,
+        parity: SimulatedSSD,
+        barrier: _Barrier,
+    ) -> None:
+        """Write whose data member is lost: fold the new data into parity.
+
+        New parity = new data XOR surviving data units, so the surviving
+        ``n-2`` data members are read and only parity is written.
+        """
+        self.stats.degraded_writes += 1
+        n = len(self.devices)
+        survivors = [
+            idx for idx in range(n)
+            if idx != self._failed and self.devices[idx] is not parity
+        ]
+        reads_left = [len(survivors)]
+
+        def _read_done(
+            reads_left: list[int] = reads_left,
+            parity: SimulatedSSD = parity,
+            local: int = local,
+            length: int = length,
+            pkey: Hashable = pkey,
+            barrier: _Barrier = barrier,
+        ) -> None:
+            barrier.arrive()
+            reads_left[0] -= 1
+            if reads_left[0] == 0:
+                parity.submit_write(
+                    local, length, on_complete=barrier.arrive, key=pkey
+                )
+
+        for idx in survivors:
+            self.devices[idx].submit_read(
+                local, length, on_complete=_read_done, key=("D", row, idx)
+            )
+
+    def submit_read(
+        self,
+        lba: int,
+        nbytes: int,
+        on_complete: Optional[Callable[[], None]] = None,
+        key: Optional[Hashable] = None,
+    ) -> None:
+        parts = _split_units(lba, nbytes, self.stripe_unit)
+        self.stats.reads += 1
+        failed = self._failed
+        total_ops = 0
+        for _, (uidx, _, _) in enumerate(parts):
+            data_dev = self._layout(uidx)[1]
+            total_ops += (len(self.devices) - 1) if data_dev == failed else 1
+        barrier = _Barrier(total_ops, on_complete)
+        base_key = key if key is not None else lba
+        for i, (uidx, off, length) in enumerate(parts):
+            row, data_dev, _ = self._layout(uidx)
+            local = row * self.stripe_unit + off
+            if data_dev == failed:
+                # Reconstruction read: fetch every surviving unit of the
+                # row and XOR (the read completes when the slowest member
+                # delivers).
+                self.stats.degraded_reads += 1
+                for idx, dev in enumerate(self.devices):
+                    if idx == failed:
+                        continue
+                    dev.submit_read(
+                        local, length, on_complete=barrier.arrive,
+                        key=("R", row, idx),
+                    )
+                continue
+            self.devices[data_dev].submit_read(
+                local,
+                length,
+                on_complete=barrier.arrive,
+                key=(base_key, i),
+            )
+
+    def trim(self, key: Hashable) -> bool:
+        return _trim_pieces(self.devices, key)

@@ -1,0 +1,177 @@
+"""Simulated flash SSD.
+
+Combines three things the paper's evaluation depends on:
+
+1. **A service-time model linear in request size** (paper Fig 1): each
+   request costs a fixed controller overhead plus bytes divided by the
+   effective read/write bandwidth.  This is why compression helps — a
+   1.5 KB compressed write is physically faster than the 4 KB original.
+2. **A FIFO request queue**: bursts that arrive faster than the device
+   drains them accumulate queueing delay, the effect that punishes slow
+   compression during high-intensity periods (Fig 10).
+3. **Garbage-collection stalls**: the embedded
+   :class:`~repro.flash.ftl.ExtentFTL` tracks live data; when GC runs,
+   its relocation/erase work is charged to the triggering request, so
+   writing less (compression!) visibly reduces GC interference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Hashable, Optional, Protocol
+
+from repro.flash.ftl import ExtentFTL, FlashCost
+from repro.flash.geometry import (
+    NandGeometry,
+    NandTiming,
+    X25E_GEOMETRY,
+    X25E_TIMING,
+)
+from repro.sim.engine import Simulator
+from repro.sim.queueing import Server
+
+__all__ = ["SimulatedSSD", "StorageBackend", "DeviceStats"]
+
+
+class StorageBackend(Protocol):
+    """What the EDC layer requires of the device below it."""
+
+    def submit_write(
+        self,
+        lba: int,
+        nbytes: int,
+        on_complete: Optional[Callable[[], None]] = None,
+        key: Optional[Hashable] = None,
+    ) -> None: ...
+
+    def submit_read(
+        self,
+        lba: int,
+        nbytes: int,
+        on_complete: Optional[Callable[[], None]] = None,
+        key: Optional[Hashable] = None,
+    ) -> None: ...
+
+    def trim(self, key: Hashable) -> bool: ...
+
+
+@dataclass
+class DeviceStats:
+    """Per-device operation and byte counters."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    gc_stall_time: float = 0.0
+
+
+class SimulatedSSD:
+    """One flash SSD: FTL + FIFO queue + linear service-time model."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "ssd0",
+        geometry: NandGeometry = X25E_GEOMETRY,
+        timing: NandTiming = X25E_TIMING,
+        gc_enabled: bool = True,
+        n_streams: int = 1,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.geometry = geometry
+        self.timing = timing
+        self.gc_enabled = gc_enabled
+        self.ftl = ExtentFTL(geometry, n_streams=n_streams)
+        self.queue = Server(sim, name=f"{name}.queue", servers=1)
+        self.stats = DeviceStats()
+
+    # ------------------------------------------------------------------
+    # pure timing helpers (used directly by the Fig 1 microbenchmark)
+    # ------------------------------------------------------------------
+    def service_read_time(self, nbytes: int) -> float:
+        """Device-occupancy seconds for a read of ``nbytes`` (no queueing)."""
+        if nbytes < 0:
+            raise ValueError(f"negative size: {nbytes!r}")
+        return self.timing.read_overhead_s + nbytes / self.timing.read_bytes_per_s
+
+    def service_write_time(self, nbytes: int) -> float:
+        """Device-occupancy seconds for a write of ``nbytes`` (no queueing/GC)."""
+        if nbytes < 0:
+            raise ValueError(f"negative size: {nbytes!r}")
+        return self.timing.write_overhead_s + nbytes / self.timing.write_bytes_per_s
+
+    def gc_time(self, cost: FlashCost) -> float:
+        """Seconds of device time consumed by the GC part of ``cost``."""
+        page = self.geometry.page_size
+        pages_moved = math.ceil(cost.moved_bytes / page) if cost.moved_bytes else 0
+        move_us = pages_moved * (
+            self.timing.t_read_page_us + self.timing.t_program_page_us
+        )
+        erase_us = cost.erases * self.timing.t_erase_block_us
+        return (move_us + erase_us) * 1e-6
+
+    # ------------------------------------------------------------------
+    # backend protocol
+    # ------------------------------------------------------------------
+    def submit_write(
+        self,
+        lba: int,
+        nbytes: int,
+        on_complete: Optional[Callable[[], None]] = None,
+        key: Optional[Hashable] = None,
+        stream: int = 0,
+    ) -> None:
+        """Queue a write of ``nbytes`` stored under ``key`` (default: ``lba``).
+
+        ``stream`` selects the FTL write frontier when the device was
+        built with ``n_streams > 1`` (hot/cold separation).
+        """
+        if key is None:
+            key = lba
+        cost = self.ftl.write(key, nbytes, stream=stream)
+        service = self.service_write_time(nbytes)
+        if self.gc_enabled:
+            stall = self.gc_time(cost)
+            service += stall
+            self.stats.gc_stall_time += stall
+        self.stats.writes += 1
+        self.stats.bytes_written += nbytes
+        self.queue.submit(
+            service,
+            on_complete=(None if on_complete is None else (lambda job: on_complete())),
+            tag=("W", key),
+        )
+
+    def submit_read(
+        self,
+        lba: int,
+        nbytes: int,
+        on_complete: Optional[Callable[[], None]] = None,
+        key: Optional[Hashable] = None,
+    ) -> None:
+        """Queue a read of ``nbytes``.
+
+        Reads of never-written keys are permitted (a real device returns
+        zero-filled sectors); only the transfer is modelled.
+        """
+        self.stats.reads += 1
+        self.stats.bytes_read += nbytes
+        self.queue.submit(
+            self.service_read_time(nbytes),
+            on_complete=(None if on_complete is None else (lambda job: on_complete())),
+            tag=("R", key if key is not None else lba),
+        )
+
+    def trim(self, key: Hashable) -> bool:
+        """Invalidate the stored extent for ``key`` (no queue time charged)."""
+        return self.ftl.trim(key)
+
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        return self.queue.utilization()
+
+    def write_amplification(self) -> float:
+        return self.ftl.stats.write_amplification()

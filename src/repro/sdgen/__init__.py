@@ -1,0 +1,47 @@
+"""Content generation substrate (SDGen substitute).
+
+The paper's traces carry no data payloads, so the authors used SDGen
+(Gracia-Tinedo et al., FAST'15) to synthesise content whose compression
+behaviour mimics real application data.  This package plays the same
+role from scratch:
+
+- :mod:`~repro.sdgen.chunks` — per-class chunk generators spanning the
+  compressibility spectrum (zero-fill, prose, source code, binary
+  records, random, already-compressed).
+- :mod:`~repro.sdgen.generator` — :class:`ContentStore`, which assigns
+  deterministic content to every (LBA, version) pair from a seeded pool
+  and memoises per-codec compressed sizes so full-trace replays stay
+  fast.
+- :mod:`~repro.sdgen.datasets` — canned mixes calibrated to the paper's
+  two corpora (Linux source files, Mozilla Firefox distribution files).
+"""
+
+from repro.sdgen.chunks import (
+    BinaryRecordChunk,
+    CHUNK_CLASSES,
+    ChunkGenerator,
+    CodeChunk,
+    CompressedChunk,
+    RandomChunk,
+    TextChunk,
+    ZeroChunk,
+)
+from repro.sdgen.datasets import DATASETS, FIREFOX_MIX, LINUX_SOURCE_MIX, build_corpus
+from repro.sdgen.generator import ContentMix, ContentStore
+
+__all__ = [
+    "ChunkGenerator",
+    "ZeroChunk",
+    "TextChunk",
+    "CodeChunk",
+    "BinaryRecordChunk",
+    "RandomChunk",
+    "CompressedChunk",
+    "CHUNK_CLASSES",
+    "ContentMix",
+    "ContentStore",
+    "LINUX_SOURCE_MIX",
+    "FIREFOX_MIX",
+    "DATASETS",
+    "build_corpus",
+]

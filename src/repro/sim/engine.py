@@ -1,0 +1,158 @@
+"""Discrete-event simulation engine.
+
+A deliberately small, dependency-free event loop.  Events are callables
+scheduled at absolute virtual times; ties are broken by insertion order so
+the simulation is fully deterministic.  The engine is the backbone of the
+SSD/RAIS models and of the trace-replay harness: trace arrivals, device
+service completions and garbage-collection stalls are all events on the
+same clock.
+
+Example
+-------
+>>> sim = Simulator()
+>>> seen = []
+>>> h = sim.schedule(1.0, lambda: seen.append(sim.now))
+>>> sim.run()
+>>> seen
+[1.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Simulator", "EventHandle", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid use of the simulation engine."""
+
+
+@dataclass(frozen=True)
+class EventHandle:
+    """Opaque handle returned by :meth:`Simulator.schedule`.
+
+    Holding the handle allows the event to be cancelled before it fires.
+    """
+
+    time: float
+    seq: int
+
+
+@dataclass(order=True)
+class _Scheduled:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulator:
+    """Event loop with a virtual clock.
+
+    The clock starts at ``0.0`` and only moves forward, jumping to the
+    timestamp of each event as it is dispatched.  All model components
+    (queues, devices, monitors) share one :class:`Simulator` so that their
+    notion of "now" is consistent.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[_Scheduled] = []
+        self._live: dict[int, _Scheduled] = {}
+        self._seq = itertools.count()
+        self._dispatched = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events scheduled but not yet dispatched."""
+        return len(self._live)
+
+    @property
+    def dispatched(self) -> int:
+        """Total number of events dispatched since construction."""
+        return self._dispatched
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; a zero delay runs the action after
+        all events already scheduled for the current instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        return self.schedule_at(self._now + delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time!r} < now {self._now!r}"
+            )
+        seq = next(self._seq)
+        ev = _Scheduled(time, seq, action)
+        heapq.heappush(self._heap, ev)
+        self._live[seq] = ev
+        return EventHandle(time, seq)
+
+    def cancel(self, handle: EventHandle) -> bool:
+        """Cancel a pending event.  Returns ``True`` if it was still pending."""
+        ev = self._live.pop(handle.seq, None)
+        if ev is None:
+            return False
+        ev.cancelled = True
+        return True
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch the single next event.  Returns ``False`` when idle."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            del self._live[ev.seq]
+            self._now = ev.time
+            self._dispatched += 1
+            ev.action()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the event queue drains (or past ``until`` seconds).
+
+        With ``until`` set, events strictly after that time remain queued
+        and the clock is advanced to ``until`` exactly.
+        """
+        if until is None:
+            while self.step():
+                pass
+            return
+        if until < self._now:
+            raise SimulationError(f"until {until!r} is in the past (now={self._now!r})")
+        while self._heap:
+            nxt = self._peek_time()
+            if nxt is None or nxt > until:
+                break
+            self.step()
+        self._now = max(self._now, until)
+
+    def _peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,173 @@
+"""Measurement primitives shared by the device models and the harness.
+
+- :class:`LatencyRecorder` — accumulates per-request latencies and reports
+  mean / percentiles (the paper's headline metric is *average response
+  time*, Figs 10 and 11).
+- :class:`TimeSeries` — fixed-width binning of a value over virtual time,
+  used to reproduce the burstiness plots (Fig 3).
+- :class:`WindowRate` — sliding-window event rate; the Workload Monitor's
+  *calculated IOPS* (§III-D) is a :class:`WindowRate` over 4 KB-normalised
+  page counts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Tuple
+
+import numpy as np
+
+__all__ = ["LatencyRecorder", "TimeSeries", "WindowRate"]
+
+
+class LatencyRecorder:
+    """Accumulates scalar samples (seconds) and reports summary statistics."""
+
+    def __init__(self, name: str = "latency") -> None:
+        self.name = name
+        self._samples: list[float] = []
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"negative latency sample: {value!r}")
+        self._samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return float(np.mean(self._samples))
+
+    def percentile(self, p: float) -> float:
+        """p-th percentile (0-100)."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p!r}")
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(self._samples, p))
+
+    def max(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def min(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    def total(self) -> float:
+        return float(np.sum(self._samples)) if self._samples else 0.0
+
+    def samples(self) -> np.ndarray:
+        """A copy of the raw samples as a numpy array."""
+        return np.asarray(self._samples, dtype=np.float64)
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        self._samples.extend(other._samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LatencyRecorder({self.name!r}, n={self.count}, "
+            f"mean={self.mean():.6f})"
+        )
+
+
+class TimeSeries:
+    """Accumulates ``(time, value)`` points into fixed-width bins.
+
+    ``bins()`` returns ``(edges, sums)`` where ``sums[i]`` is the sum of
+    values with ``edges[i] <= t < edges[i] + bin_width``.  Used to plot
+    I/O intensity over time (Fig 3) and the monitor's view of the
+    workload.
+    """
+
+    def __init__(self, bin_width: float = 1.0) -> None:
+        if bin_width <= 0:
+            raise ValueError(f"bin_width must be positive: {bin_width!r}")
+        self.bin_width = bin_width
+        self._bins: dict[int, float] = {}
+        self._max_bin = -1
+
+    def add(self, time: float, value: float = 1.0) -> None:
+        if time < 0:
+            raise ValueError(f"negative time: {time!r}")
+        idx = int(time / self.bin_width)
+        self._bins[idx] = self._bins.get(idx, 0.0) + value
+        if idx > self._max_bin:
+            self._max_bin = idx
+
+    def bins(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense ``(edges, sums)`` arrays covering bin 0 .. max seen."""
+        n = self._max_bin + 1
+        edges = np.arange(n, dtype=np.float64) * self.bin_width
+        sums = np.zeros(n, dtype=np.float64)
+        for idx, v in self._bins.items():
+            sums[idx] = v
+        return edges, sums
+
+    def rates(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`bins` but values divided by the bin width (per-second)."""
+        edges, sums = self.bins()
+        return edges, sums / self.bin_width
+
+    @property
+    def empty(self) -> bool:
+        return not self._bins
+
+
+class WindowRate:
+    """Sliding-window rate estimator.
+
+    ``record(t, weight)`` notes ``weight`` units of work at time ``t``
+    (times must be non-decreasing); ``rate(t)`` returns units per second
+    over the trailing ``window`` seconds.  This is exactly the paper's
+    *calculated IOPS* when ``weight`` is the number of 4 KB pages a
+    request touches.
+    """
+
+    def __init__(self, window: float = 1.0) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive: {window!r}")
+        self.window = window
+        self._events: Deque[Tuple[float, float]] = deque()
+        self._sum = 0.0
+        self._last_t = float("-inf")
+
+    def record(self, time: float, weight: float = 1.0) -> None:
+        if time < self._last_t:
+            raise ValueError(
+                f"times must be non-decreasing: {time!r} < {self._last_t!r}"
+            )
+        self._last_t = time
+        self._events.append((time, weight))
+        self._sum += weight
+        self._expire(time)
+
+    def _expire(self, now: float) -> None:
+        cutoff = now - self.window
+        ev = self._events
+        while ev and ev[0][0] <= cutoff:
+            _, w = ev.popleft()
+            self._sum -= w
+        if not ev:
+            # Clear accumulated floating-point residue so an empty window
+            # reads exactly zero (it can otherwise go slightly negative).
+            self._sum = 0.0
+
+    def rate(self, now: float) -> float:
+        """Work units per second over ``(now - window, now]``."""
+        self._expire(now)
+        return self._sum / self.window
+
+    def total_in_window(self, now: float) -> float:
+        self._expire(now)
+        return self._sum
+
+    def reset(self) -> None:
+        self._events.clear()
+        self._sum = 0.0
+        self._last_t = float("-inf")

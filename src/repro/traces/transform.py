@@ -1,0 +1,115 @@
+"""Trace transformations: overlay, scale, stretch, filter, relabel.
+
+Workload studies constantly need derived traces — "the same trace at 2x
+the rate", "OLTP plus a background scan", "writes only".  These
+operators compose :class:`~repro.traces.model.Trace` values without
+touching the generators, and each preserves the invariants the replay
+layer depends on (sorted timestamps, positive sizes, block alignment
+where the input had it).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.traces.model import IORequest, Trace
+
+__all__ = [
+    "overlay",
+    "time_scale",
+    "rate_scale",
+    "shift",
+    "concat",
+    "reads_only",
+    "writes_only",
+    "clamp_sizes",
+]
+
+
+def overlay(traces: Sequence[Trace], name: str = "overlay") -> Trace:
+    """Merge several traces onto one timeline (requests interleave by time).
+
+    Models co-located workloads sharing one device — e.g. an OLTP
+    foreground plus a backup scan.
+    """
+    if not traces:
+        raise ValueError("overlay needs at least one trace")
+    merged: list[IORequest] = []
+    for t in traces:
+        merged.extend(t.requests)
+    return Trace(name, merged)
+
+
+def time_scale(trace: Trace, factor: float) -> Trace:
+    """Stretch (> 1) or compress (< 1) the timeline by ``factor``.
+
+    Compressing time raises the arrival rate without changing the
+    request population — the standard way to turn one trace into a
+    higher-intensity variant.
+    """
+    if factor <= 0:
+        raise ValueError(f"factor must be positive: {factor!r}")
+    return Trace(
+        trace.name,
+        [IORequest(r.time * factor, r.op, r.lba, r.nbytes) for r in trace],
+    )
+
+
+def rate_scale(trace: Trace, factor: float) -> Trace:
+    """Raise the arrival rate by ``factor`` (sugar for 1/factor time scale)."""
+    if factor <= 0:
+        raise ValueError(f"factor must be positive: {factor!r}")
+    return time_scale(trace, 1.0 / factor)
+
+
+def shift(trace: Trace, offset: float) -> Trace:
+    """Delay every request by ``offset`` seconds (for staggered overlays)."""
+    if offset < 0:
+        raise ValueError(f"offset must be non-negative: {offset!r}")
+    return Trace(
+        trace.name,
+        [IORequest(r.time + offset, r.op, r.lba, r.nbytes) for r in trace],
+    )
+
+
+def concat(traces: Iterable[Trace], gap: float = 0.0, name: str = "concat") -> Trace:
+    """Play traces back to back, ``gap`` idle seconds apart."""
+    if gap < 0:
+        raise ValueError(f"gap must be non-negative: {gap!r}")
+    out: list[IORequest] = []
+    t0 = 0.0
+    for trace in traces:
+        for r in trace:
+            out.append(IORequest(t0 + r.time, r.op, r.lba, r.nbytes))
+        t0 += trace.duration + gap
+    return Trace(name, out)
+
+
+def reads_only(trace: Trace) -> Trace:
+    """Only the read requests."""
+    return trace.filter(lambda r: r.is_read)
+
+
+def writes_only(trace: Trace) -> Trace:
+    """Only the write requests."""
+    return trace.filter(lambda r: r.is_write)
+
+
+def clamp_sizes(trace: Trace, max_bytes: int) -> Trace:
+    """Split requests larger than ``max_bytes`` into back-to-back pieces.
+
+    Mimics a block layer with a maximum transfer size; pieces inherit
+    the original timestamp (they arrive together).
+    """
+    if max_bytes <= 0:
+        raise ValueError(f"max_bytes must be positive: {max_bytes!r}")
+    out: list[IORequest] = []
+    for r in trace:
+        pos = r.lba
+        remaining = r.nbytes
+        while remaining > 0:
+            piece = min(remaining, max_bytes)
+            out.append(IORequest(r.time, r.op, pos, piece))
+            pos += piece
+            remaining -= piece
+    return Trace(trace.name, out)

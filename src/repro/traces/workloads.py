@@ -1,0 +1,151 @@
+"""Canned workload parameter sets for the paper's four traces.
+
+The paper's Table II characterises Fin1/Fin2 (SPC OLTP) and Usr_0/Prxy_0
+(MSR Cambridge) by read/write ratio, raw IOPS and average request size.
+The parameter sets below reproduce the published characteristics of
+those traces:
+
+=========  ===========  =========  ============  ===========================
+trace      write ratio  raw IOPS   avg req size  character
+=========  ===========  =========  ============  ===========================
+Fin1       ~77 %        ~120       ~3.5 KB       write-heavy OLTP, bursty
+Fin2       ~18 %        ~90        ~2.5 KB       read-heavy OLTP
+Usr_0      ~60 %        ~40        ~12 KB        user home dir, large reqs,
+                                                 long idle periods
+Prxy_0     ~97 %        ~130       ~5 KB         firewall/proxy, write storm
+=========  ===========  =========  ============  ===========================
+
+Raw IOPS here is the *long-run average*; the ON/OFF burst models push
+instantaneous rates an order of magnitude higher during bursts, per the
+paper's Fig 3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.traces.model import Trace
+from repro.traces.synthetic import BurstModel, SyntheticTraceGenerator, WorkloadParams
+
+__all__ = ["FIN1", "FIN2", "USR0", "PRXY0", "WORKLOADS", "make_workload",
+           "fin1", "fin2", "usr0", "prxy0"]
+
+_KB = 1024
+
+# Burst models follow the "intense bursts, long idle periods" structure of
+# the paper's Fig 3: instantaneous burst rates are in the thousands of IOPS
+# (enough to queue on an X25-E-class device and to saturate slow codecs)
+# while the long-run averages stay near Table II's reported raw IOPS.
+
+FIN1 = WorkloadParams(
+    name="Fin1",
+    read_ratio=0.23,
+    size_dist=((512, 0.05), (2048, 0.25), (4096, 0.55), (8192, 0.15)),
+    write_seq_prob=0.35,
+    read_seq_prob=0.15,
+    burst=BurstModel(
+        on_iops=1050.0,
+        off_iops=25.0,
+        on_duration_mean=0.7,
+        off_duration_mean=14.0,
+        on_levels=((950.0, 0.85), (1650.0, 0.15)),
+    ),
+    address_space=1 << 28,  # 256 MB footprint folded onto the device
+    hot_fraction=0.15,
+    hot_weight=0.85,
+)
+
+FIN2 = WorkloadParams(
+    name="Fin2",
+    read_ratio=0.82,
+    size_dist=((512, 0.10), (2048, 0.45), (4096, 0.40), (8192, 0.05)),
+    write_seq_prob=0.25,
+    read_seq_prob=0.30,
+    burst=BurstModel(
+        on_iops=1120.0,
+        off_iops=25.0,
+        on_duration_mean=0.6,
+        off_duration_mean=14.0,
+        on_levels=((1000.0, 0.85), (1800.0, 0.15)),
+    ),
+    address_space=1 << 28,
+    hot_fraction=0.2,
+    hot_weight=0.8,
+)
+
+USR0 = WorkloadParams(
+    name="Usr_0",
+    read_ratio=0.40,
+    size_dist=((4096, 0.40), (8192, 0.20), (16384, 0.20), (32768, 0.15), (65536, 0.05)),
+    write_seq_prob=0.55,
+    read_seq_prob=0.45,
+    burst=BurstModel(
+        on_iops=330.0,
+        off_iops=3.0,
+        on_duration_mean=0.7,
+        off_duration_mean=20.0,
+        on_levels=((300.0, 0.85), (520.0, 0.15)),
+    ),
+    address_space=1 << 29,
+    hot_fraction=0.1,
+    hot_weight=0.7,
+)
+
+PRXY0 = WorkloadParams(
+    name="Prxy_0",
+    read_ratio=0.03,
+    size_dist=((512, 0.10), (4096, 0.55), (8192, 0.25), (16384, 0.10)),
+    write_seq_prob=0.50,
+    read_seq_prob=0.20,
+    burst=BurstModel(
+        on_iops=530.0,
+        off_iops=30.0,
+        on_duration_mean=0.8,
+        off_duration_mean=12.0,
+        on_levels=((500.0, 0.85), (700.0, 0.15)),
+    ),
+    address_space=1 << 28,
+    hot_fraction=0.25,
+    hot_weight=0.9,
+)
+
+WORKLOADS: Dict[str, WorkloadParams] = {
+    p.name: p for p in (FIN1, FIN2, USR0, PRXY0)
+}
+
+
+def make_workload(
+    name: str,
+    duration: Optional[float] = None,
+    max_requests: Optional[int] = 20_000,
+    seed: int = 42,
+) -> Trace:
+    """Generate one of the four canned workloads by name."""
+    try:
+        params = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+        ) from None
+    return SyntheticTraceGenerator(params, seed=seed).generate(
+        duration=duration, max_requests=max_requests
+    )
+
+
+def _factory(workload_name: str) -> Callable[..., Trace]:
+    def make(
+        duration: Optional[float] = None,
+        max_requests: Optional[int] = 20_000,
+        seed: int = 42,
+    ) -> Trace:
+        return make_workload(workload_name, duration, max_requests, seed)
+
+    make.__name__ = workload_name.lower().replace("_", "")
+    make.__doc__ = f"Generate the synthetic {workload_name} trace."
+    return make
+
+
+fin1 = _factory("Fin1")
+fin2 = _factory("Fin2")
+usr0 = _factory("Usr_0")
+prxy0 = _factory("Prxy_0")

@@ -1,0 +1,34 @@
+"""Tests for the ``python -m repro.bench`` CLI runner."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCli:
+    def test_fig1_and_tables(self, capsys):
+        assert main(["fig1", "table1", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 1" in out
+        assert "Table I" in out
+        assert "Table II" in out
+        assert "Fin1" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 3" in out
+        assert "peak" in out
+
+    def test_unknown_exhibit_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_duration_flag_parsed(self, capsys):
+        assert main(["table1", "--duration", "5"]) == 0
+
+    def test_fig12_short(self, capsys):
+        assert main(["fig12", "--duration", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 12" in out
+        assert "gzip share" in out

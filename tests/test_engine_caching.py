@@ -1,0 +1,83 @@
+"""Tests for memoisation behaviour across the compression pipeline.
+
+Replays depend on three caches for tractability: the content store's
+compressed-size cache, the engine's gate-decision cache, and the content
+pool itself.  These tests pin their correctness properties: caching must
+never change results, only costs.
+"""
+
+import pytest
+
+from repro.compression.codec import default_registry
+from repro.core.engine import CompressionEngine
+from repro.sdgen.datasets import ENTERPRISE_MIX
+from repro.sdgen.generator import ContentMix, ContentStore
+
+
+@pytest.fixture
+def engine():
+    store = ContentStore(ENTERPRISE_MIX, pool_blocks=32, seed=4)
+    return CompressionEngine(store)
+
+
+@pytest.fixture
+def text_engine():
+    # All-compressible pool so the 75% rule never replaces the payload.
+    store = ContentStore(ContentMix("t", {"text": 1.0}), pool_blocks=8, seed=4)
+    return CompressionEngine(store)
+
+
+class TestPlanDeterminism:
+    def test_same_run_same_plan(self, engine):
+        a = engine.plan_write((0, 1), "gzip", gate=True)
+        b = engine.plan_write((0, 1), "gzip", gate=True)
+        assert a == b
+
+    def test_cached_and_uncached_sizes_agree(self):
+        s1 = ContentStore(ENTERPRISE_MIX, pool_blocks=16, seed=9)
+        s2 = ContentStore(ENTERPRISE_MIX, pool_blocks=16, seed=9)
+        gzip = default_registry().get("gzip")
+        ids = s1.run_ids(0, 3)
+        first = s1.compressed_size(ids, gzip)   # miss
+        again = s1.compressed_size(ids, gzip)   # hit
+        fresh = s2.compressed_size(ids, gzip)   # miss on a twin store
+        assert first == again == fresh
+
+    def test_gate_cache_hit_counts(self, engine):
+        before = engine.estimator.stats.total
+        engine.plan_write((3,), "lzf", gate=True)
+        mid = engine.estimator.stats.total
+        engine.plan_write((3,), "lzf", gate=True)
+        assert engine.estimator.stats.total == mid
+        assert mid == before + 1
+
+    def test_distinct_runs_not_conflated(self, text_engine):
+        a = text_engine.plan_write((0,), "gzip", gate=False)
+        b = text_engine.plan_write((1,), "gzip", gate=False)
+        # The plans must reference their own content's sizes.
+        store = text_engine.content
+        gzip = default_registry().get("gzip")
+        assert a.payload_size == len(gzip.compress(store.data_for_run((0,))))
+        assert b.payload_size == len(gzip.compress(store.data_for_run((1,))))
+
+    def test_merged_run_differs_from_pieces(self, text_engine):
+        merged = text_engine.plan_write((0, 1, 2), "gzip", gate=False)
+        pieces = [
+            text_engine.plan_write((i,), "gzip", gate=False) for i in (0, 1, 2)
+        ]
+        assert merged.original_size == sum(p.original_size for p in pieces)
+        # Whole-run compression is at least competitive with the sum of
+        # per-piece payloads minus per-stream overheads (weak but true
+        # directionally for DEFLATE on concatenations).
+        assert merged.payload_size <= sum(p.payload_size for p in pieces) + 64
+
+
+class TestKeepPayloads:
+    def test_payloads_retained_only_when_asked(self):
+        store = ContentStore(ContentMix("m", {"text": 1.0}), pool_blocks=4, seed=2)
+        eng = CompressionEngine(store, keep_payloads=False)
+        eng.plan_write((0,), "gzip", gate=False)
+        assert len(store._payload_cache) == 0
+        eng2 = CompressionEngine(store, keep_payloads=True)
+        eng2.plan_write((1,), "gzip", gate=False)
+        assert len(store._payload_cache) == 1

@@ -1,0 +1,110 @@
+"""Failure-injection tests: corruption and misbehaviour must be *detected*.
+
+A storage stack's error paths matter as much as its happy paths.  These
+tests corrupt payloads, break codec contracts and misuse APIs, and check
+that every failure surfaces as a typed error instead of silent data
+loss.
+"""
+
+import pytest
+
+from repro.compression.codec import Codec, CodecError, CodecRegistry
+from repro.core.config import EDCConfig
+from repro.core.device import EDCBlockDevice, IntegrityError
+from repro.core.policy import FixedPolicy
+from repro.flash.geometry import x25e_like
+from repro.flash.ssd import SimulatedSSD
+from repro.sdgen.datasets import ENTERPRISE_MIX
+from repro.sdgen.generator import ContentMix, ContentStore
+from repro.sim.engine import Simulator
+from repro.traces.model import IORequest
+
+
+class TestPayloadCorruption:
+    """Bit-flips in stored payloads must fail decompression or verification."""
+
+    @pytest.mark.parametrize("codec_name", ["lzf", "lz4", "gzip", "bzip2", "huffman"])
+    def test_corrupted_payload_never_silently_wrong(self, codec_name):
+        from repro.compression.codec import default_registry
+
+        codec = default_registry().get(codec_name)
+        data = (b"corruption detection test data " * 200)[:4096]
+        payload = bytearray(codec.compress(data))
+        # Flip a byte in the middle of the compressed stream.
+        payload[len(payload) // 2] ^= 0xFF
+        try:
+            out = codec.decompress(bytes(payload), len(data))
+        except CodecError:
+            return  # detected: good
+        # Some corruptions decode "successfully" in match-only formats;
+        # the output must then differ (the device's verify layer catches it).
+        assert out != data
+
+    def test_device_verify_catches_content_mismatch(self):
+        """If the store returns different bytes than were written, the
+        verify-reads path raises IntegrityError."""
+        sim = Simulator()
+        ssd = SimulatedSSD(sim, geometry=x25e_like(32))
+        content = ContentStore(ContentMix("m", {"text": 1.0}), pool_blocks=8, seed=1)
+        cfg = EDCConfig(sd_enabled=False, store_payloads=True, verify_reads=True)
+        dev = EDCBlockDevice(sim, ssd, FixedPolicy("gzip"), content, cfg)
+        sim.schedule_at(0.0, lambda: dev.submit(IORequest(0.0, "W", 0, 4096)))
+        sim.run()
+        # Corrupt the cached payload the read path will verify against.
+        for key in list(content._payload_cache):
+            blob = bytearray(content._payload_cache[key])
+            blob[0] ^= 0x01
+            content._payload_cache[key] = bytes(blob)
+        sim.schedule_at(sim.now + 0.1, lambda: dev.submit(IORequest(sim.now, "R", 0, 4096)))
+        with pytest.raises((IntegrityError, CodecError)):
+            sim.run()
+
+
+class TestCodecContractViolations:
+    def test_registry_rejects_broken_tag(self):
+        class Broken(Codec):
+            name = "broken"
+            tag = 99
+
+            def compress(self, data):
+                return data
+
+            def decompress(self, data, original_size=None):
+                return data
+
+        with pytest.raises(CodecError):
+            CodecRegistry().register(Broken())
+
+    def test_decompress_wrong_codec_stream(self):
+        """Feeding one codec's output to another must not succeed silently."""
+        from repro.compression.codec import default_registry
+
+        reg = default_registry()
+        data = b"cross-codec stream test " * 100
+        gzip_stream = reg.get("gzip").compress(data)
+        with pytest.raises(CodecError):
+            reg.get("bzip2").decompress(gzip_stream, len(data))
+
+
+class TestApiMisuse:
+    def test_device_rejects_negative_size_via_request_validation(self):
+        with pytest.raises(ValueError):
+            IORequest(0.0, "W", 0, -4096)
+
+    def test_submit_before_scheduled_time_is_callers_responsibility(self):
+        """submit() uses sim.now as arrival; scheduling in the past fails."""
+        from repro.sim.engine import SimulationError
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_monitor_rejects_time_travel(self):
+        from repro.core.monitor import WorkloadMonitor
+
+        m = WorkloadMonitor()
+        m.record(1.0, "W", 4096)
+        with pytest.raises(ValueError):
+            m.record(0.5, "W", 4096)

@@ -1,0 +1,106 @@
+"""Tests for the figure drivers (small parameters — the benchmarks run the
+full-size versions)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import ReplayConfig
+from repro.bench.figures import (
+    fig1_request_size_latency,
+    fig2_codec_efficiency,
+    fig3_burstiness,
+    fig8_to_11_matrix,
+    fig12_threshold_sensitivity,
+    table1_setup,
+    table2_workloads,
+)
+
+
+class TestFig1:
+    def test_shapes_and_monotonicity(self):
+        data = fig1_request_size_latency((4, 8, 16))
+        assert data["size_kb"] == [4.0, 8.0, 16.0]
+        assert data["read_norm"][0] == 1.0
+        assert data["write_ms"][2] > data["write_ms"][0]
+
+    def test_linearity(self):
+        data = fig1_request_size_latency((4, 8, 12, 16))
+        diffs = np.diff(data["write_ms"])
+        assert np.allclose(diffs, diffs[0])
+
+
+class TestFig2:
+    def test_rows_cover_datasets_and_codecs(self):
+        rows = fig2_codec_efficiency(codecs=("lzf", "gzip"), n_chunks=6, chunk_size=4096)
+        assert {(r.dataset, r.codec) for r in rows} == {
+            ("linux-source", "lzf"),
+            ("linux-source", "gzip"),
+            ("firefox", "lzf"),
+            ("firefox", "gzip"),
+        }
+
+    def test_ratios_real(self):
+        rows = fig2_codec_efficiency(codecs=("gzip",), n_chunks=6, chunk_size=4096)
+        assert all(r.ratio > 1.0 for r in rows)
+
+
+class TestFig3:
+    def test_series_returned(self):
+        out = fig3_burstiness(workloads=("Fin1",), duration=30.0)
+        times, rates = out["Fin1"]
+        assert len(times) == len(rates)
+        assert rates.max() > 0
+
+
+class TestTables:
+    def test_table1_rows(self):
+        rows = table1_setup()
+        assert len(rows) >= 6
+        assert all(len(r) == 2 for r in rows)
+
+    def test_table2_rows(self):
+        rows = table2_workloads(n_requests=300)
+        assert [r["trace"] for r in rows] == ["Fin1", "Fin2", "Usr_0", "Prxy_0"]
+        for r in rows:
+            assert 0 <= r["write_ratio"] <= 1
+
+
+class TestMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return fig8_to_11_matrix(
+            traces=("Fin1",),
+            duration=20.0,
+            schemes=("Native", "Lzf"),
+            cfg=ReplayConfig(capacity_mb=32, pool_blocks=32),
+        )
+
+    def test_structure(self, matrix):
+        assert set(matrix.results) == {"Fin1"}
+        assert set(matrix.results["Fin1"]) == {"Native", "Lzf"}
+
+    def test_normalized_baseline_is_one(self, matrix):
+        norm = matrix.normalized("mean_response")
+        assert norm["Fin1"]["Native"] == pytest.approx(1.0)
+
+    def test_mean_over_traces(self, matrix):
+        means = matrix.mean_over_traces("compression_ratio")
+        assert means["Native"] == pytest.approx(1.0)
+        assert means["Lzf"] > 1.0
+
+
+class TestFig12:
+    def test_sweep_structure(self):
+        pts = fig12_threshold_sensitivity(
+            trace_name="Fin2",
+            thresholds=(0.0, 500.0),
+            duration=15.0,
+            cfg=ReplayConfig(capacity_mb=32, pool_blocks=32),
+        )
+        assert len(pts) == 2
+        assert pts[0].gzip_share == 0.0
+        assert pts[1].gzip_share >= pts[0].gzip_share
+
+    def test_threshold_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            fig12_threshold_sensitivity(thresholds=(99999.0,), duration=5.0)

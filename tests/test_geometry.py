@@ -1,0 +1,83 @@
+"""Tests for NAND geometry and timing parameters."""
+
+import pytest
+
+from repro.flash.geometry import (
+    NandGeometry,
+    NandTiming,
+    X25E_GEOMETRY,
+    X25E_TIMING,
+    x25e_like,
+)
+
+
+class TestGeometry:
+    def test_derived_sizes(self):
+        g = NandGeometry(page_size=4096, pages_per_block=32, nblocks=100, op_ratio=0.1)
+        assert g.block_bytes == 131072
+        assert g.raw_bytes == 13107200
+        assert g.logical_bytes == int(13107200 * 0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NandGeometry(page_size=0)
+        with pytest.raises(ValueError):
+            NandGeometry(nblocks=0)
+        with pytest.raises(ValueError):
+            NandGeometry(op_ratio=1.0)
+        with pytest.raises(ValueError):
+            NandGeometry(op_ratio=-0.1)
+
+    def test_x25e_like_capacity(self):
+        g = x25e_like(64)
+        assert g.raw_bytes == 64 * 1024 * 1024
+
+    def test_x25e_like_minimum_blocks(self):
+        assert x25e_like(1).nblocks >= 8
+
+    def test_x25e_like_invalid(self):
+        with pytest.raises(ValueError):
+            x25e_like(0)
+
+    def test_default_preset(self):
+        assert X25E_GEOMETRY.raw_bytes == 256 * 1024 * 1024
+        # erase block in the paper's cited 64-128 KB range
+        assert 64 * 1024 <= X25E_GEOMETRY.block_bytes <= 128 * 1024
+
+
+class TestTiming:
+    def test_unit_conversions(self):
+        t = NandTiming()
+        assert t.read_bytes_per_s == t.read_mb_s * 1024 * 1024
+        assert t.write_overhead_s == pytest.approx(t.write_overhead_us * 1e-6)
+        assert t.read_overhead_s == pytest.approx(t.read_overhead_us * 1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NandTiming(read_mb_s=0)
+        with pytest.raises(ValueError):
+            NandTiming(write_overhead_us=-1)
+        with pytest.raises(ValueError):
+            NandTiming(t_erase_block_us=0)
+
+    def test_x25e_4k_write_latency_realistic(self):
+        """~120 us for a 4 KB write (write-cache-enabled X25-E)."""
+        t = X25E_TIMING
+        us = (t.write_overhead_s + 4096 / t.write_bytes_per_s) * 1e6
+        assert 80 <= us <= 200
+
+    def test_x25e_4k_read_latency_realistic(self):
+        t = X25E_TIMING
+        us = (t.read_overhead_s + 4096 / t.read_bytes_per_s) * 1e6
+        assert 60 <= us <= 150
+
+    def test_write_path_slower_than_read_path(self):
+        """§II-A: asymmetric read/write performance."""
+        t = X25E_TIMING
+        w = t.write_overhead_s + 4096 / t.write_bytes_per_s
+        r = t.read_overhead_s + 4096 / t.read_bytes_per_s
+        assert w > r
+
+    def test_erase_in_milliseconds(self):
+        """§II-A: 'an erase operation typically takes milliseconds'."""
+        assert X25E_TIMING.t_erase_block_us >= 1000

@@ -1,0 +1,156 @@
+"""Tests for the from-scratch canonical Huffman codec."""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.codec import CodecError
+from repro.compression.huffman import (
+    HuffmanCodec,
+    _canonical_codes,
+    _code_lengths,
+    huffman_compress,
+    huffman_decompress,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"aa",
+            b"ab",
+            b"abc" * 100,
+            bytes(4096),
+            bytes(range(256)),
+            b"the quick brown fox " * 200,
+        ],
+        ids=["empty", "one", "repeat", "two", "cyclic", "zeros", "all-syms", "text"],
+    )
+    def test_round_trip(self, data):
+        assert huffman_decompress(huffman_compress(data), len(data)) == data
+
+    def test_round_trip_random(self):
+        data = os.urandom(8192)
+        assert huffman_decompress(huffman_compress(data), len(data)) == data
+
+    def test_round_trip_without_size(self):
+        data = b"entropy coding " * 300
+        assert huffman_decompress(huffman_compress(data)) == data
+
+    def test_codec_class(self):
+        c = HuffmanCodec()
+        assert c.tag == 7
+        data = open(__file__, "rb").read()
+        assert c.decompress(c.compress(data), len(data)) == data
+
+
+class TestCompressionBehaviour:
+    def test_skewed_data_compresses_well(self):
+        data = b"a" * 3800 + bytes(range(64)) * 4
+        out = huffman_compress(data)
+        assert len(out) < len(data) // 3
+
+    def test_random_data_stored_raw(self):
+        data = os.urandom(4096)
+        out = huffman_compress(data)
+        assert out[0] == 0  # raw mode
+        assert len(out) == len(data) + 1
+
+    def test_entropy_only_between_none_and_deflate(self):
+        """The spectrum point this codec exists to provide."""
+        import zlib
+
+        from repro.sdgen.chunks import TextChunk
+
+        text = TextChunk().generate(np.random.default_rng(5), 16384)
+        huff = len(huffman_compress(text))
+        deflate = len(zlib.compress(text, 6))
+        assert deflate < huff < len(text)
+
+    def test_beats_shannon_bound_never(self):
+        """Output >= H(X) * n bits (entropy optimality sanity check)."""
+        from repro.compression.estimator import byte_entropy
+
+        data = (b"aab" * 1000)[:2048]
+        out = huffman_compress(data)
+        lower_bound_bytes = byte_entropy(data) * len(data) / 8
+        assert len(out) >= lower_bound_bytes
+
+    def test_near_optimal_for_dyadic_distribution(self):
+        # p = 1/2, 1/4, 1/8, 1/8: Huffman is exactly optimal (1.75 bits/sym).
+        data = b"a" * 512 + b"b" * 256 + b"c" * 128 + b"d" * 128
+        out = huffman_compress(data)
+        bitstream = len(out) - 1 - 4 - 128
+        assert bitstream == pytest.approx(1024 * 1.75 / 8, abs=2)
+
+
+class TestInternals:
+    def test_code_lengths_single_symbol(self):
+        lengths = _code_lengths(b"aaaa")
+        assert lengths[ord("a")] == 1
+        assert sum(1 for x in lengths if x) == 1
+
+    def test_kraft_inequality(self):
+        lengths = _code_lengths(open(__file__, "rb").read())
+        assert lengths is not None
+        kraft = sum(2.0 ** -l for l in lengths if l > 0)
+        assert kraft <= 1.0 + 1e-9
+
+    def test_canonical_codes_prefix_free(self):
+        lengths = _code_lengths(b"abracadabra" * 50)
+        codes = _canonical_codes(lengths)
+        used = [(c, l) for c, l in codes if l > 0]
+        for i, (c1, l1) in enumerate(used):
+            for c2, l2 in used[i + 1 :]:
+                if l1 <= l2:
+                    assert (c2 >> (l2 - l1)) != c1
+                else:
+                    assert (c1 >> (l1 - l2)) != c2
+
+
+class TestErrors:
+    def test_empty_stream(self):
+        with pytest.raises(CodecError):
+            huffman_decompress(b"")
+
+    def test_unknown_mode(self):
+        with pytest.raises(CodecError):
+            huffman_decompress(bytes([9]))
+
+    def test_truncated_header(self):
+        with pytest.raises(CodecError):
+            huffman_decompress(bytes([1, 0, 0]))
+
+    def test_truncated_bitstream(self):
+        comp = huffman_compress(b"hello world, hello huffman" * 20)
+        assert comp[0] == 1
+        with pytest.raises(CodecError):
+            huffman_decompress(comp[:-3])
+
+    def test_size_mismatch(self):
+        comp = huffman_compress(b"some text some text some text")
+        with pytest.raises(CodecError):
+            huffman_decompress(comp, 5)
+
+
+class TestPropertyBased:
+    @given(st.binary(max_size=2048))
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip_arbitrary(self, data):
+        assert huffman_decompress(huffman_compress(data), len(data)) == data
+
+    @given(st.binary(min_size=1, max_size=8), st.integers(min_value=1, max_value=500))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_skewed(self, alphabet, n):
+        data = (alphabet * n)[: n * len(alphabet)]
+        assert huffman_decompress(huffman_compress(data), len(data)) == data
+
+    @given(st.binary(max_size=1024))
+    @settings(max_examples=100, deadline=None)
+    def test_never_expands_beyond_one_byte(self, data):
+        assert len(huffman_compress(data)) <= len(data) + 1

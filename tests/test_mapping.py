@@ -1,0 +1,201 @@
+"""Tests for the (LBA, Size, Tag) mapping table with overlay semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flash.mapping import ENTRY_BYTES, MappingEntry, MappingTable
+
+
+def entry(block, span=1, size=1000, tag=1):
+    return MappingEntry(
+        lba=block * 4096, size=size, tag=tag, span=span, original_size=span * 4096
+    )
+
+
+class TestMappingEntry:
+    def test_valid_entry(self):
+        e = MappingEntry(lba=4096, size=1562, tag=3, span=1)
+        assert e.is_compressed
+
+    def test_tag_zero_uncompressed(self):
+        assert not MappingEntry(lba=0, size=4096, tag=0).is_compressed
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(lba=-1, size=1, tag=0),
+            dict(lba=0, size=-1, tag=0),
+            dict(lba=0, size=1, tag=8),
+            dict(lba=0, size=1, tag=-1),
+            dict(lba=0, size=1, tag=0, span=0),
+            dict(lba=0, size=1, tag=0, original_size=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            MappingEntry(**kwargs)
+
+
+class TestInsertLookup:
+    def test_lookup_hits_inside_span(self):
+        t = MappingTable()
+        eid, _ = t.insert(entry(10, span=3))
+        for blk in (10, 11, 12):
+            hit = t.lookup(blk * 4096)
+            assert hit is not None and hit[0] == eid
+        assert t.lookup(13 * 4096) is None
+        assert t.lookup(9 * 4096) is None
+
+    def test_lookup_mid_block_offset(self):
+        t = MappingTable()
+        eid, _ = t.insert(entry(5))
+        assert t.lookup(5 * 4096 + 123)[0] == eid
+
+    def test_full_overwrite_reclaims(self):
+        t = MappingTable()
+        old_id, _ = t.insert(entry(7))
+        new_id, shadowed = t.insert(entry(7))
+        assert [sid for sid, _ in shadowed] == [old_id]
+        assert t.lookup(7 * 4096)[0] == new_id
+        assert len(t) == 1
+
+    def test_partial_overwrite_keeps_old_entry(self):
+        t = MappingTable()
+        run_id, _ = t.insert(entry(0, span=3))
+        new_id, shadowed = t.insert(entry(1, span=1))
+        assert shadowed == []  # old run still covers blocks 0 and 2
+        assert t.lookup(0)[0] == run_id
+        assert t.lookup(4096)[0] == new_id
+        assert t.lookup(8192)[0] == run_id
+        assert t.live_fraction(run_id) == pytest.approx(2 / 3)
+        t.check_invariants()
+
+    def test_progressive_shadowing_reclaims_eventually(self):
+        t = MappingTable()
+        run_id, _ = t.insert(entry(0, span=3))
+        assert t.insert(entry(0))[1] == []
+        assert t.insert(entry(1))[1] == []
+        _, shadowed = t.insert(entry(2))
+        assert [sid for sid, _ in shadowed] == [run_id]
+        assert t.live_fraction(run_id) == 0.0
+        t.check_invariants()
+
+    def test_new_run_shadowing_multiple_entries(self):
+        t = MappingTable()
+        a, _ = t.insert(entry(0))
+        b, _ = t.insert(entry(1))
+        c, _ = t.insert(entry(2))
+        _, shadowed = t.insert(entry(0, span=3))
+        assert {sid for sid, _ in shadowed} == {a, b, c}
+        assert len(t) == 1
+        t.check_invariants()
+
+
+class TestRemove:
+    def test_remove_single_block_entry(self):
+        t = MappingTable()
+        eid, _ = t.insert(entry(4))
+        reclaimed = t.remove(4 * 4096)
+        assert [r[0] for r in reclaimed] == [eid]
+        assert t.lookup(4 * 4096) is None
+
+    def test_remove_missing_is_noop(self):
+        assert MappingTable().remove(0) == []
+
+    def test_remove_one_block_of_span(self):
+        t = MappingTable()
+        eid, _ = t.insert(entry(0, span=2))
+        assert t.remove(0) == []  # block 1 still resolves to it
+        assert t.lookup(0) is None
+        assert t.lookup(4096)[0] == eid
+        reclaimed = t.remove(4096)
+        assert [r[0] for r in reclaimed] == [eid]
+        t.check_invariants()
+
+
+class TestAccounting:
+    def test_len_and_covered(self):
+        t = MappingTable()
+        t.insert(entry(0, span=4))
+        t.insert(entry(10))
+        assert len(t) == 2
+        assert t.covered_blocks() == 5
+
+    def test_metadata_bytes(self):
+        t = MappingTable()
+        t.insert(entry(0))
+        t.insert(entry(1))
+        assert t.metadata_bytes == 2 * ENTRY_BYTES
+
+    def test_get_by_id(self):
+        t = MappingTable()
+        eid, _ = t.insert(entry(3, size=777))
+        assert t.get(eid).size == 777
+        assert t.get(999) is None
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            MappingTable(block_size=0)
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30),
+                st.integers(min_value=1, max_value=6),
+            ),
+            max_size=150,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_overlay_invariants(self, inserts):
+        t = MappingTable()
+        for block, span in inserts:
+            t.insert(entry(block, span=span))
+        t.check_invariants()
+        # Every covered block resolves to an entry that spans it.
+        for block, span in inserts:
+            hit = t.lookup(block * 4096)
+            assert hit is not None
+            _, e = hit
+            start = e.lba // 4096
+            assert start <= block < start + e.span
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.booleans()),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_insert_remove_churn(self, ops):
+        t = MappingTable()
+        for block, is_remove in ops:
+            if is_remove:
+                t.remove(block * 4096)
+            else:
+                t.insert(entry(block))
+        t.check_invariants()
+
+
+class TestCoveredBlocksOf:
+    def test_full_coverage(self):
+        t = MappingTable()
+        eid, _ = t.insert(entry(4, span=3))
+        assert t.covered_blocks_of(eid) == [4, 5, 6]
+
+    def test_partial_coverage_after_overwrite(self):
+        t = MappingTable()
+        eid, _ = t.insert(entry(0, span=4))
+        t.insert(entry(1, span=2))  # shadow blocks 1-2
+        assert t.covered_blocks_of(eid) == [0, 3]
+
+    def test_unknown_entry(self):
+        assert MappingTable().covered_blocks_of(99) == []
+
+    def test_reclaimed_entry(self):
+        t = MappingTable()
+        eid, _ = t.insert(entry(0))
+        t.insert(entry(0))  # fully shadowed
+        assert t.covered_blocks_of(eid) == []

@@ -1,0 +1,83 @@
+"""Tests for the Workload Monitor (calculated IOPS, §III-D)."""
+
+import pytest
+
+from repro.core.monitor import WorkloadMonitor
+
+
+class TestPagesOf:
+    def test_paper_example_8k_is_two(self):
+        """§III-D: 'one 8KB request is traded as two 4KB requests'."""
+        assert WorkloadMonitor().pages_of(8192) == 2
+
+    @pytest.mark.parametrize(
+        "nbytes,pages",
+        [(1, 1), (512, 1), (4096, 1), (4097, 2), (16384, 4), (65536, 16)],
+    )
+    def test_rounding_up(self, nbytes, pages):
+        assert WorkloadMonitor().pages_of(nbytes) == pages
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadMonitor().pages_of(0)
+
+
+class TestCalculatedIops:
+    def test_counts_pages_not_requests(self):
+        m = WorkloadMonitor(window=1.0)
+        m.record(0.1, "W", 8192)
+        m.record(0.2, "W", 4096)
+        assert m.calculated_iops(0.2) == pytest.approx(3.0)
+        assert m.raw_iops(0.2) == pytest.approx(2.0)
+
+    def test_window_expiry(self):
+        m = WorkloadMonitor(window=1.0)
+        m.record(0.0, "W", 4096)
+        m.record(2.0, "W", 4096)
+        assert m.calculated_iops(2.0) == pytest.approx(1.0)
+
+    def test_reads_and_writes_both_counted(self):
+        m = WorkloadMonitor(window=1.0)
+        m.record(0.1, "R", 4096)
+        m.record(0.2, "W", 4096)
+        assert m.calculated_iops(0.2) == pytest.approx(2.0)
+
+    def test_short_window_reacts_fast(self):
+        slow = WorkloadMonitor(window=1.0)
+        fast = WorkloadMonitor(window=0.05)
+        for i in range(10):
+            t = i * 0.005
+            slow.record(t, "W", 4096)
+            fast.record(t, "W", 4096)
+        assert fast.calculated_iops(0.045) > slow.calculated_iops(0.045)
+
+    def test_totals(self):
+        m = WorkloadMonitor()
+        m.record(0.0, "W", 8192)
+        m.record(0.1, "R", 4096)
+        assert m.total_requests == 2
+        assert m.total_pages == 3
+
+
+class TestSnapshot:
+    def test_snapshot_fields(self):
+        m = WorkloadMonitor(window=1.0)
+        m.record(0.1, "R", 4096)
+        m.record(0.2, "W", 4096)
+        m.record(0.3, "R", 8192)
+        s = m.snapshot(0.3)
+        assert s.time == 0.3
+        assert s.calculated_iops == pytest.approx(4.0)
+        assert s.raw_iops == pytest.approx(3.0)
+        assert s.read_fraction == pytest.approx(2 / 3)
+
+    def test_snapshot_idle(self):
+        m = WorkloadMonitor(window=1.0)
+        m.record(0.0, "W", 4096)
+        s = m.snapshot(5.0)
+        assert s.calculated_iops == 0.0
+        assert s.read_fraction == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadMonitor(page_size=0)

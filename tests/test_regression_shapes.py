@@ -1,0 +1,58 @@
+"""Fast qualitative-shape regression test.
+
+The benchmark suite replays minutes of virtual time per scheme; this
+test replays a short window of one trace and asserts only the coarse
+orderings every figure depends on.  If a code or calibration change
+breaks the paper's shape, this fails in seconds instead of surfacing
+twenty minutes into ``pytest benchmarks/``.
+"""
+
+import pytest
+
+from repro.bench.experiments import ReplayConfig, replay_all_schemes
+from repro.traces.workloads import make_workload
+
+
+@pytest.fixture(scope="module")
+def results():
+    trace = make_workload("Fin1", duration=40.0, max_requests=None, seed=42)
+    return replay_all_schemes(trace, ReplayConfig())
+
+
+class TestShapeRegression:
+    def test_ratio_ordering(self, results):
+        """Fig 8's backbone: Native < Lzf <= EDC-ish < Gzip."""
+        assert results["Native"].compression_ratio == pytest.approx(1.0)
+        assert results["Lzf"].compression_ratio > 1.15
+        assert results["Gzip"].compression_ratio > results["Lzf"].compression_ratio
+        assert results["Bzip2"].compression_ratio > results["Lzf"].compression_ratio
+        assert (
+            results["EDC"].compression_ratio < results["Gzip"].compression_ratio
+        )
+
+    def test_response_ordering(self, results):
+        """Fig 10's backbone: Native <= Lzf < EDC < Gzip < Bzip2."""
+        r = {s: res.mean_response for s, res in results.items()}
+        assert r["Lzf"] < 1.8 * r["Native"]
+        assert r["Gzip"] > r["Lzf"]
+        assert r["Bzip2"] > r["Gzip"]
+        assert r["EDC"] < r["Bzip2"]
+
+    def test_composite_backbone(self, results):
+        """Fig 9's backbone: heavy fixed compression loses to adaptive."""
+        c = {s: res.composite for s, res in results.items()}
+        assert c["Bzip2"] < c["Native"]
+        assert c["EDC"] > c["Bzip2"]
+        assert c["Lzf"] > c["Gzip"]
+
+    def test_edc_mechanisms_engaged(self, results):
+        edc = results["EDC"]
+        # All three bands and the gate saw action.
+        assert edc.codec_shares.get("lzf", 0) > 0
+        assert edc.codec_shares.get("gzip", 0) > 0
+        assert edc.skipped_incompressible > 0
+        assert edc.merged_runs > 0
+
+    def test_space_saving_band(self, results):
+        """EDC saves meaningful space (paper: up to 38.7%; ours: 15-35%)."""
+        assert 0.10 <= results["EDC"].space_saving <= 0.45

@@ -1,0 +1,95 @@
+"""Tests for the per-class content chunk generators."""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.compression.lzf import lzf_compress
+from repro.sdgen.chunks import (
+    BinaryRecordChunk,
+    CHUNK_CLASSES,
+    CodeChunk,
+    CompressedChunk,
+    RandomChunk,
+    TextChunk,
+    ZeroChunk,
+)
+
+ALL_KINDS = sorted(CHUNK_CLASSES)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+class TestAllGenerators:
+    def test_exact_size(self, kind, rng):
+        gen = CHUNK_CLASSES[kind]()
+        for size in (1, 100, 4096, 5000):
+            assert len(gen.generate(rng, size)) == size
+
+    def test_deterministic_given_rng_state(self, kind):
+        a = CHUNK_CLASSES[kind]().generate(np.random.default_rng(7), 4096)
+        b = CHUNK_CLASSES[kind]().generate(np.random.default_rng(7), 4096)
+        assert a == b
+
+
+def _ratio(gen, rng, codec=lambda d: zlib.compress(d, 6), n=16):
+    blocks = [gen.generate(rng, 4096) for _ in range(n)]
+    return float(np.mean([4096 / len(codec(b)) for b in blocks]))
+
+
+class TestCompressibilityCalibration:
+    """Per-class ratios documented in the module docstring."""
+
+    def test_zero_extremely_compressible(self, rng):
+        assert _ratio(ZeroChunk(), rng) > 50
+
+    def test_text_moderate(self, rng):
+        r = _ratio(TextChunk(), rng)
+        assert 1.9 <= r <= 3.2
+
+    def test_text_gzip_beats_lzf_substantially(self, rng):
+        """The Huffman gap the Fig 8 separation depends on."""
+        g = _ratio(TextChunk(), rng)
+        l = _ratio(TextChunk(), rng, codec=lzf_compress)
+        assert g / l > 1.3
+
+    def test_code_highly_compressible(self, rng):
+        assert _ratio(CodeChunk(), rng) > 3.0
+
+    def test_binary_record_moderate(self, rng):
+        r = _ratio(BinaryRecordChunk(), rng)
+        assert 1.7 <= r <= 3.2
+
+    def test_random_incompressible(self, rng):
+        assert _ratio(RandomChunk(), rng) < 1.05
+
+    def test_compressed_incompressible(self, rng):
+        assert _ratio(CompressedChunk(), rng) < 1.1
+
+    def test_skewed_spectrum(self, rng):
+        """§I: compressibility across classes is strongly skewed."""
+        ratios = {
+            kind: _ratio(CHUNK_CLASSES[kind](), rng, n=8) for kind in ALL_KINDS
+        }
+        assert max(ratios.values()) > 10 * min(ratios.values())
+
+
+class TestRegistry:
+    def test_kind_keys_match_classes(self):
+        for kind, cls in CHUNK_CLASSES.items():
+            assert cls.kind == kind
+
+    def test_expected_roster(self):
+        assert set(CHUNK_CLASSES) == {
+            "zero",
+            "text",
+            "code",
+            "binary-record",
+            "random",
+            "compressed",
+        }

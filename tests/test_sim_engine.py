@@ -1,0 +1,143 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_advances_to_event_time(self):
+        sim = Simulator()
+        sim.schedule(2.5, lambda: None)
+        sim.run()
+        assert sim.now == 2.5
+
+    def test_run_until_advances_clock_exactly(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+        assert sim.pending == 1
+
+    def test_run_until_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=0.5)
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append(3))
+        sim.schedule(1.0, lambda: order.append(1))
+        sim.schedule(2.0, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_ties_fire_in_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(10):
+            sim.schedule(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == list(range(10))
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_zero_delay_runs_after_current_instant_events(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.0, lambda: order.append("a"))
+        sim.schedule(0.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_event_scheduled_from_event(self):
+        sim = Simulator()
+        times = []
+
+        def first():
+            times.append(sim.now)
+            sim.schedule(1.0, lambda: times.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert times == [1.0, 2.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        h = sim.schedule(1.0, lambda: fired.append(1))
+        assert sim.cancel(h) is True
+        sim.run()
+        assert fired == []
+
+    def test_cancel_returns_false_for_fired_event(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.cancel(h) is False
+
+    def test_double_cancel_returns_false(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        assert sim.cancel(h)
+        assert not sim.cancel(h)
+
+    def test_cancel_one_of_many(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("keep1"))
+        h = sim.schedule(1.0, lambda: fired.append("drop"))
+        sim.schedule(1.0, lambda: fired.append("keep2"))
+        sim.cancel(h)
+        sim.run()
+        assert fired == ["keep1", "keep2"]
+
+
+class TestAccounting:
+    def test_pending_and_dispatched_counts(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        assert sim.pending == 5
+        assert sim.dispatched == 0
+        sim.run()
+        assert sim.pending == 0
+        assert sim.dispatched == 5
+
+    def test_cancelled_events_not_dispatched(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.cancel(h)
+        sim.run()
+        assert sim.dispatched == 1
+
+    def test_step_returns_false_when_idle(self):
+        assert Simulator().step() is False
+
+    def test_step_dispatches_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]

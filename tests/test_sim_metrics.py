@@ -1,0 +1,145 @@
+"""Tests for latency recorders, time series and window rates."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import LatencyRecorder, TimeSeries, WindowRate
+
+
+class TestLatencyRecorder:
+    def test_empty_stats_are_zero(self):
+        r = LatencyRecorder()
+        assert r.count == 0
+        assert r.mean() == 0.0
+        assert r.percentile(99) == 0.0
+        assert r.max() == 0.0
+        assert r.total() == 0.0
+
+    def test_mean(self):
+        r = LatencyRecorder()
+        r.extend([1.0, 2.0, 3.0])
+        assert r.mean() == pytest.approx(2.0)
+
+    def test_percentiles(self):
+        r = LatencyRecorder()
+        r.extend(float(i) for i in range(1, 101))
+        assert r.percentile(50) == pytest.approx(50.5)
+        assert r.percentile(0) == 1.0
+        assert r.percentile(100) == 100.0
+
+    def test_percentile_out_of_range(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().percentile(101)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().add(-1.0)
+
+    def test_min_max_total(self):
+        r = LatencyRecorder()
+        r.extend([0.5, 2.5, 1.0])
+        assert r.min() == 0.5
+        assert r.max() == 2.5
+        assert r.total() == pytest.approx(4.0)
+
+    def test_merge(self):
+        a, b = LatencyRecorder(), LatencyRecorder()
+        a.add(1.0)
+        b.add(3.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.mean() == pytest.approx(2.0)
+
+    def test_samples_returns_copy_as_array(self):
+        r = LatencyRecorder()
+        r.extend([1.0, 2.0])
+        s = r.samples()
+        assert isinstance(s, np.ndarray)
+        s[0] = 99.0
+        assert r.mean() == pytest.approx(1.5)
+
+
+class TestTimeSeries:
+    def test_empty(self):
+        ts = TimeSeries()
+        assert ts.empty
+        edges, sums = ts.bins()
+        assert len(edges) == 0
+
+    def test_binning(self):
+        ts = TimeSeries(bin_width=1.0)
+        ts.add(0.2, 1.0)
+        ts.add(0.9, 2.0)
+        ts.add(2.5, 5.0)
+        edges, sums = ts.bins()
+        assert list(edges) == [0.0, 1.0, 2.0]
+        assert list(sums) == [3.0, 0.0, 5.0]
+
+    def test_rates_divide_by_width(self):
+        ts = TimeSeries(bin_width=0.5)
+        ts.add(0.1, 3.0)
+        _, rates = ts.rates()
+        assert rates[0] == pytest.approx(6.0)
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            TimeSeries(bin_width=0.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries().add(-1.0)
+
+
+class TestWindowRate:
+    def test_rate_within_window(self):
+        w = WindowRate(window=1.0)
+        for t in (0.1, 0.2, 0.3):
+            w.record(t, 1.0)
+        assert w.rate(0.3) == pytest.approx(3.0)
+
+    def test_old_events_expire(self):
+        w = WindowRate(window=1.0)
+        w.record(0.0, 10.0)
+        w.record(2.0, 1.0)
+        assert w.rate(2.0) == pytest.approx(1.0)
+
+    def test_weighted_events(self):
+        w = WindowRate(window=2.0)
+        w.record(0.5, 4.0)
+        w.record(1.0, 2.0)
+        assert w.rate(1.0) == pytest.approx(3.0)
+
+    def test_rate_queried_later_expires(self):
+        w = WindowRate(window=1.0)
+        w.record(0.0, 5.0)
+        assert w.rate(0.5) == pytest.approx(5.0)
+        assert w.rate(1.5) == pytest.approx(0.0)
+
+    def test_event_exactly_at_window_edge_expires(self):
+        w = WindowRate(window=1.0)
+        w.record(0.0, 1.0)
+        assert w.rate(1.0) == pytest.approx(0.0)
+
+    def test_non_monotonic_rejected(self):
+        w = WindowRate()
+        w.record(1.0)
+        with pytest.raises(ValueError):
+            w.record(0.5)
+
+    def test_reset(self):
+        w = WindowRate()
+        w.record(0.5, 3.0)
+        w.reset()
+        assert w.rate(0.5) == 0.0
+        w.record(0.1)  # allowed again after reset
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            WindowRate(window=0.0)
+
+    def test_total_in_window(self):
+        w = WindowRate(window=1.0)
+        w.record(0.0, 2.0)
+        w.record(0.5, 3.0)
+        assert w.total_in_window(0.5) == pytest.approx(5.0)
+        assert w.total_in_window(1.2) == pytest.approx(3.0)

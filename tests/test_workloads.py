@@ -1,0 +1,94 @@
+"""Tests for the canned Fin1/Fin2/Usr_0/Prxy_0 workloads (Table II)."""
+
+import pytest
+
+from repro.traces.workloads import (
+    FIN1,
+    FIN2,
+    PRXY0,
+    USR0,
+    WORKLOADS,
+    fin1,
+    fin2,
+    make_workload,
+    prxy0,
+    usr0,
+)
+
+
+class TestRegistry:
+    def test_all_four_present(self):
+        assert set(WORKLOADS) == {"Fin1", "Fin2", "Usr_0", "Prxy_0"}
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="Fin1"):
+            make_workload("nope")
+
+    def test_factories_match_registry(self):
+        t = fin1(max_requests=100)
+        assert t.name == "Fin1"
+        assert len(t) == 100
+
+
+class TestTableIICharacteristics:
+    """Generated traces must reproduce the published characteristics."""
+
+    @pytest.fixture(scope="class")
+    def traces(self):
+        return {
+            name: make_workload(name, duration=400.0, max_requests=None, seed=42)
+            for name in WORKLOADS
+        }
+
+    def test_fin1_write_heavy(self, traces):
+        s = traces["Fin1"].stats()
+        assert 0.68 <= s.write_ratio <= 0.85
+
+    def test_fin2_read_heavy(self, traces):
+        s = traces["Fin2"].stats()
+        assert 0.72 <= s.read_ratio <= 0.90
+
+    def test_prxy0_nearly_all_writes(self, traces):
+        s = traces["Prxy_0"].stats()
+        assert s.write_ratio >= 0.93
+
+    def test_usr0_large_requests(self, traces):
+        s = traces["Usr_0"].stats()
+        assert s.avg_request_bytes > 8192
+
+    def test_oltp_small_requests(self, traces):
+        for name in ("Fin1", "Fin2"):
+            assert traces[name].stats().avg_request_bytes < 6 * 1024
+
+    def test_mean_iops_orders_of_magnitude(self, traces):
+        """Long-run averages in the tens-to-hundreds IOPS range."""
+        for name, trace in traces.items():
+            iops = trace.stats().raw_iops
+            assert 10 <= iops <= 500, (name, iops)
+
+    def test_burst_idle_alternation(self, traces):
+        """Fig 3: peak instantaneous intensity far above the average."""
+        for name, trace in traces.items():
+            _, rates = trace.intensity_series(bin_width=1.0)
+            assert rates.max() > 5 * max(rates.mean(), 1e-9), name
+
+    def test_deterministic(self):
+        a = make_workload("Fin1", max_requests=500, seed=9)
+        b = make_workload("Fin1", max_requests=500, seed=9)
+        assert [r.lba for r in a] == [r.lba for r in b]
+
+
+class TestParameterSets:
+    def test_two_level_bursts_configured(self):
+        for p in (FIN1, FIN2, USR0, PRXY0):
+            assert p.burst.on_levels is not None
+            assert len(p.burst.on_levels) == 2
+
+    def test_sequentiality_configured(self):
+        for p in (FIN1, FIN2, USR0, PRXY0):
+            assert 0 < p.write_seq_prob < 1
+
+    def test_usr0_most_sequential(self):
+        assert USR0.write_seq_prob == max(
+            p.write_seq_prob for p in (FIN1, FIN2, USR0, PRXY0)
+        )
