@@ -5,10 +5,16 @@ Usage::
     python -m repro.bench                 # everything (several minutes)
     python -m repro.bench fig1 fig2       # selected exhibits
     python -m repro.bench --duration 60   # shorter replays
+    python -m repro.bench --telemetry     # add the per-layer breakdown
+    python -m repro.bench breakdown --trace-dump spans.jsonl
 
-Exhibit names: fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12.
-``fig8``-``fig10`` share one single-SSD replay matrix; ``fig11`` runs
-the RAIS5 matrix.
+Exhibit names: fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12
+breakdown.  ``fig8``-``fig10`` share one single-SSD replay matrix;
+``fig11`` runs the RAIS5 matrix.  ``breakdown`` (also enabled by
+``--telemetry``) replays Fin1 under EDC with telemetry attached and
+prints the per-layer latency breakdown, histogram quantiles and an
+ASCII flamegraph; ``--trace-dump PATH`` additionally writes the span
+trace as JSON lines.
 """
 
 from __future__ import annotations
@@ -27,11 +33,36 @@ from repro.bench.figures import (
     table2_workloads,
 )
 from repro.bench.ascii import grouped_bar_chart, line_sketch
-from repro.bench.report import render_series, render_table
+from repro.bench.report import render_series, render_table, render_telemetry
 
 ALL = ("fig1", "fig2", "fig3", "table1", "table2", "fig8", "fig9", "fig10",
-       "fig11", "fig12")
+       "fig11", "fig12", "breakdown")
 SCHEMES = ("Native", "Lzf", "Gzip", "Bzip2", "EDC")
+
+
+def _run_breakdown(duration: float, trace_dump: str | None) -> None:
+    """Replay Fin1 under EDC with telemetry and print the breakdown."""
+    from repro.bench.experiments import replay
+    from repro.sim.engine import Simulator
+    from repro.telemetry import Telemetry, dump_jsonl
+    from repro.traces.workloads import make_workload
+
+    # Open the dump target first so a bad path fails before the replay.
+    fp = open(trace_dump, "w", encoding="utf-8") if trace_dump else None
+    try:
+        telemetry = Telemetry(Simulator())
+        trace = make_workload("Fin1", duration=duration)
+        result = replay(trace, "EDC", telemetry=telemetry)
+        print(f"telemetry: Fin1 x EDC, {result.n_requests} requests, "
+              f"mean response {result.mean_response * 1e3:.3f} ms")
+        print()
+        print(render_telemetry(telemetry))
+        if fp is not None:
+            n = dump_jsonl(telemetry.tracer, fp)
+            print(f"\nwrote {n} spans to {trace_dump}")
+    finally:
+        if fp is not None:
+            fp.close()
 
 
 def _print_matrix(matrix, metric: str, title: str) -> None:
@@ -58,8 +89,16 @@ def main(argv: list[str] | None = None) -> int:
                         help=f"which exhibits to run (default: all of {ALL})")
     parser.add_argument("--duration", type=float, default=100.0,
                         help="virtual seconds per replayed trace (default 100)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="also run the 'breakdown' exhibit: per-layer "
+                             "latency breakdown of a Fin1 EDC replay")
+    parser.add_argument("--trace-dump", metavar="PATH", default=None,
+                        help="with telemetry, write the span trace as "
+                             "JSON lines to PATH")
     args = parser.parse_args(argv)
-    wanted = tuple(args.exhibits) or ALL
+    wanted = tuple(args.exhibits) or (ALL[:-1] if not args.telemetry else ALL)
+    if args.telemetry and "breakdown" not in wanted:
+        wanted = wanted + ("breakdown",)
     unknown = set(wanted) - set(ALL)
     if unknown:
         parser.error(f"unknown exhibits: {sorted(unknown)}; known: {ALL}")
@@ -114,6 +153,10 @@ def main(argv: list[str] | None = None) -> int:
             m = fig8_to_11_matrix(backend="rais5", duration=args.duration)
             _print_matrix(m, "mean_response",
                           "Fig 11: response time vs Native (RAIS5)")
+        elif name == "breakdown":
+            print(f"running the telemetry breakdown replay "
+                  f"(duration {args.duration:.0f}s)...")
+            _run_breakdown(args.duration, args.trace_dump)
         elif name == "fig12":
             pts = fig12_threshold_sensitivity(duration=args.duration)
             print(render_table(

@@ -123,10 +123,22 @@ def replay(
     cfg: Optional[ReplayConfig] = None,
     bands: Optional[Sequence[IntensityBand]] = None,
     cost_model: Optional[CodecCostModel] = None,
+    telemetry=None,
 ) -> ExperimentResult:
-    """Replay ``trace`` under ``scheme`` and collect the result record."""
+    """Replay ``trace`` under ``scheme`` and collect the result record.
+
+    ``telemetry`` optionally attaches a
+    :class:`~repro.telemetry.Telemetry`.  Because this function owns its
+    simulator, a telemetry object built on any simulator is re-keyed
+    onto the replay's clock before the run; after the call its tracer,
+    metrics and per-layer breakdown describe this replay.
+    """
     cfg = cfg if cfg is not None else ReplayConfig()
     sim = Simulator()
+    if telemetry is not None and telemetry.sim is not sim:
+        # Re-key the telemetry clock onto this replay's simulator.
+        telemetry.sim = sim
+        telemetry.tracer.clock = lambda: sim.now
     backend, devices = _build_backend(sim, cfg)
     block = cfg.device_config.block_size
     folded = trace.scaled_addresses(cfg.fold_bytes(block), block)
@@ -139,6 +151,7 @@ def replay(
     device = build_device(
         sim, scheme, backend, content,
         config=cfg.device_config, bands=bands, cost_model=cost_model,
+        telemetry=telemetry,
     )
     TraceReplayer(sim, device).replay(folded)
 
@@ -151,11 +164,12 @@ def replay(
         wa = (host + moved) / host if host else 1.0
         gc_stall = sum(d.stats.gc_stall_time for d in devices)
 
-    all_samples = device.write_latency.samples().tolist()
-    all_samples += device.read_latency.samples().tolist()
     import numpy as np
 
-    p99 = float(np.percentile(all_samples, 99)) if all_samples else 0.0
+    all_samples = np.concatenate(
+        [device.write_latency.samples(), device.read_latency.samples()]
+    )
+    p99 = float(np.percentile(all_samples, 99)) if all_samples.size else 0.0
     return ExperimentResult(
         scheme=scheme,
         trace_name=trace.name,

@@ -9,7 +9,12 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["render_table", "render_series", "render_normalized"]
+__all__ = [
+    "render_table",
+    "render_series",
+    "render_normalized",
+    "render_telemetry",
+]
 
 
 def render_table(
@@ -59,6 +64,17 @@ def render_normalized(
         norm = v / base if base else float("nan")
         rows.append([scheme, f"{v:.6g}", f"{norm:.3f}"])
     return render_table(["scheme", label, f"vs {baseline}"], rows)
+
+
+def render_telemetry(telemetry, flame: bool = True) -> str:
+    """Per-layer breakdown + metrics + flamegraph for one replay.
+
+    Thin delegation to :func:`repro.telemetry.render_telemetry_summary`
+    so harness code only needs this module for all result rendering.
+    """
+    from repro.telemetry.exporters import render_telemetry_summary
+
+    return render_telemetry_summary(telemetry, flame=flame)
 
 
 def _fmt(value: object) -> str:

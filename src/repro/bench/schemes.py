@@ -82,10 +82,17 @@ def build_device(
     config: Optional[EDCConfig] = None,
     bands: Optional[Sequence[IntensityBand]] = None,
     cost_model: Optional[CodecCostModel] = None,
+    telemetry=None,
 ) -> EDCBlockDevice:
-    """A ready-to-replay device running ``scheme`` over ``backend``."""
+    """A ready-to-replay device running ``scheme`` over ``backend``.
+
+    ``telemetry`` optionally attaches a
+    :class:`~repro.telemetry.Telemetry` for span tracing and the
+    per-layer latency breakdown.
+    """
     policy = build_policy(scheme, bands)
     cfg = scheme_config(scheme, config)
     return EDCBlockDevice(
-        sim, backend, policy, content, cfg, cost_model=cost_model
+        sim, backend, policy, content, cfg, cost_model=cost_model,
+        telemetry=telemetry,
     )

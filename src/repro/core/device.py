@@ -40,6 +40,7 @@ from repro.sdgen.generator import ContentStore
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.metrics import LatencyRecorder
 from repro.sim.queueing import Server
+from repro.telemetry.probes import NULL_TELEMETRY, Telemetry
 from repro.traces.model import IORequest
 
 
@@ -62,6 +63,7 @@ class EDCBlockDevice:
         config: Optional[EDCConfig] = None,
         registry: Optional[CodecRegistry] = None,
         cost_model: Optional[CodecCostModel] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.sim = sim
         self.policy = policy
@@ -105,6 +107,15 @@ class EDCBlockDevice:
         self._sd_timer: Optional[EventHandle] = None
         self._outstanding = 0
 
+        # Telemetry is opt-in: without it the NULL singleton is held and
+        # the single cached boolean below keeps the hot path branch-cheap.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tp_req = bool(
+            self.telemetry.enabled and self.telemetry.probes.active("request")
+        )
+        if self.telemetry.enabled:
+            self.telemetry.bind_device(self)
+
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
@@ -116,6 +127,8 @@ class EDCBlockDevice:
     def submit(self, request: IORequest) -> None:
         """Process one request arriving *now* (``sim.now``)."""
         self.monitor.record(self.sim.now, request.op, request.nbytes)
+        if self._tp_req:
+            self.telemetry.request_arrived(request, request.is_write)
         if request.is_write:
             self._on_write(request)
         else:
@@ -205,19 +218,29 @@ class EDCBlockDevice:
         if plan.policy_raw and codec_name is None and self.policy.name != "Native":
             self.stats.skipped_intensity += 1
 
+        rec = self.telemetry.write_run_planned(run, plan) if self._tp_req else None
         if plan.cpu_time > 0:
             self.cpu.submit(
                 plan.cpu_time,
-                on_complete=lambda job: self._commit_write(run, plan, run_ids),
+                on_complete=lambda job: self._commit_write(
+                    run, plan, run_ids, rec, job
+                ),
                 tag=("compress", start_blk),
             )
         else:
-            self._commit_write(run, plan, run_ids)
+            self._commit_write(run, plan, run_ids, rec)
 
     def _commit_write(
-        self, run: PendingRun, plan: WritePlan, run_ids: Tuple[int, ...]
+        self,
+        run: PendingRun,
+        plan: WritePlan,
+        run_ids: Tuple[int, ...],
+        rec: object = None,
+        job: object = None,
     ) -> None:
         """Compression finished: allocate, map, and issue the device write."""
+        if rec is not None:
+            self.telemetry.write_cpu_done(rec, job)
         bs = self.config.block_size
         nblocks = len(run_ids)
         entry = MappingEntry(
@@ -249,6 +272,8 @@ class EDCBlockDevice:
             for arrival in arrivals:
                 self.write_latency.add(now - arrival)
                 self._outstanding -= 1
+            if rec is not None:
+                self.telemetry.write_run_done(rec)
 
         stream = 0
         if self.config.hot_cold_streams:
@@ -258,9 +283,20 @@ class EDCBlockDevice:
                 self._versions[start_blk + i] for i in range(nblocks)
             )
             stream = 1 if hottest >= self.config.hot_version_threshold else 0
-        self.distributer.write(
-            eid, run.start_lba, cls.nbytes, _device_done, stream=stream
-        )
+        if rec is not None:
+            # Bracket the synchronous issue so the SSD's service-time
+            # probe can attribute this write's service and GC stall.
+            self.telemetry.flash_issue_begin(rec, eid, write=True)
+            try:
+                self.distributer.write(
+                    eid, run.start_lba, cls.nbytes, _device_done, stream=stream
+                )
+            finally:
+                self.telemetry.flash_issue_end()
+        else:
+            self.distributer.write(
+                eid, run.start_lba, cls.nbytes, _device_done, stream=stream
+            )
 
     # ------------------------------------------------------------------
     # read path
@@ -275,15 +311,18 @@ class EDCBlockDevice:
         pieces = self._resolve_read(lba, nbytes)
         arrival = self.sim.now
         remaining = [len(pieces)]
+        rrec = self.telemetry.read_started(request) if self._tp_req else None
 
         def _piece_done() -> None:
             remaining[0] -= 1
             if remaining[0] == 0:
                 self.read_latency.add(self.sim.now - arrival)
                 self._outstanding -= 1
+                if rrec is not None:
+                    self.telemetry.read_done(rrec)
 
         for piece in pieces:
-            self._issue_read_piece(piece, request, _piece_done)
+            self._issue_read_piece(piece, request, _piece_done, rrec)
 
     def _resolve_read(
         self, lba: int, nbytes: int
@@ -322,10 +361,13 @@ class EDCBlockDevice:
         piece: Tuple[Optional[int], int, int],
         request: IORequest,
         done,
+        rrec: object = None,
     ) -> None:
         eid, lba, raw_len = piece
         if eid is None:
             # Unmapped (never-written) range: raw-size device read.
+            if rrec is not None:
+                self.telemetry.flash_issue_begin(rrec, lba, write=False)
             self.distributer.read(None, lba, raw_len, done)
             return
         entry = self.mapping.get(eid)
@@ -342,12 +384,19 @@ class EDCBlockDevice:
             if self.config.verify_reads:
                 self._verify_entry(run_ids, codec_name, entry, request)
             if dec > 0:
-                self.cpu.submit(
-                    dec, on_complete=lambda job: done(), tag=("decompress", eid)
-                )
+
+                def _dec_done(job) -> None:
+                    if rrec is not None:
+                        self.telemetry.read_decompress_done(rrec, job)
+                    done()
+
+                self.cpu.submit(dec, on_complete=_dec_done,
+                                tag=("decompress", eid))
             else:
                 done()
 
+        if rrec is not None:
+            self.telemetry.flash_issue_begin(rrec, eid, write=False)
         self.distributer.read(eid, entry.lba, stored, _after_device)
 
     def _verify_entry(

@@ -43,6 +43,9 @@ class WritePlan:
     original_size: int
     payload_size: int
     cpu_time: float
+    #: portion of ``cpu_time`` spent on the sampled compressibility
+    #: estimation (telemetry attributes it to the ``estimate`` layer)
+    estimate_time: float = 0.0
     #: write-through because the estimator judged the data incompressible
     gated: bool = False
     #: stored raw because compressed size exceeded the 75 % threshold
@@ -142,8 +145,10 @@ class CompressionEngine:
                 policy_raw=True,
             )
         cpu = 0.0
+        estimate = 0.0
         if gate:
-            cpu += self._estimation_time(original)
+            estimate = self._estimation_time(original)
+            cpu += estimate
             if not self._gate_allows(run_ids):
                 return WritePlan(
                     codec_name="none",
@@ -151,6 +156,7 @@ class CompressionEngine:
                     original_size=original,
                     payload_size=original,
                     cpu_time=cpu,
+                    estimate_time=estimate,
                     gated=True,
                 )
         codec = self.registry.get(codec_name)
@@ -166,6 +172,7 @@ class CompressionEngine:
                 original_size=original,
                 payload_size=original,
                 cpu_time=cpu,
+                estimate_time=estimate,
                 failed_75pct=True,
             )
         return WritePlan(
@@ -174,6 +181,7 @@ class CompressionEngine:
             original_size=original,
             payload_size=payload,
             cpu_time=cpu,
+            estimate_time=estimate,
         )
 
     # ------------------------------------------------------------------

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 __all__ = [
     "CompressionPolicy",
@@ -125,6 +125,10 @@ class ElasticPolicy(CompressionPolicy):
         self._gate = gate
         #: per-band selection counts, parallel to ``bands``
         self.band_counts = [0] * len(self.bands)
+        #: optional telemetry hook, called with ``(band_index,
+        #: calculated_iops)`` on every selection — band *transitions*
+        #: (Fig 6's feedback loop switching rungs) are derived from it
+        self.on_select: Optional[Callable[[int, float], None]] = None
 
     @property
     def uses_gate(self) -> bool:
@@ -138,6 +142,8 @@ class ElasticPolicy(CompressionPolicy):
         for i, band in enumerate(self.bands):
             if calculated_iops < band.upper_iops:
                 self.band_counts[i] += 1
+                if self.on_select is not None:
+                    self.on_select(i, calculated_iops)
                 return band.codec
         raise AssertionError("unreachable: last band is unbounded")
 

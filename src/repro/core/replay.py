@@ -6,6 +6,12 @@ trace timestamp, run the event loop, flush the Sequentiality Detector's
 tail, run again, and confirm nothing is left outstanding.
 :class:`TraceReplayer` packages that loop once for the harness, the
 examples and the tests.
+
+When the device was built with a :class:`~repro.telemetry.Telemetry`
+object, every replayed request gets a per-request root span and the
+per-layer latency breakdown accumulates during the run; the replayer
+exposes the device's telemetry through :attr:`TraceReplayer.telemetry`
+so the harness can export it right after :meth:`TraceReplayer.run`.
 """
 
 from __future__ import annotations
@@ -45,6 +51,11 @@ class TraceReplayer:
         self.sim = sim
         self.device = device
         self._scheduled = 0
+
+    @property
+    def telemetry(self):
+        """The device's telemetry (the NULL singleton when not enabled)."""
+        return self.device.telemetry
 
     def schedule(self, trace: Trace) -> None:
         """Schedule every request of ``trace`` at its timestamp.

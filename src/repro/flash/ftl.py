@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Hashable, Optional
+from typing import Callable, Deque, Dict, Hashable, Optional
 
 from repro.flash.gc import GreedyCollector
 from repro.flash.geometry import NandGeometry
@@ -123,6 +123,9 @@ class ExtentFTL:
         self.gc_free_threshold = gc_free_threshold
         self.n_streams = n_streams
         self.stats = _FtlStats()
+        #: optional telemetry hook, called after each collection with
+        #: ``(victim_block, moved_bytes, reclaimed_bytes)``
+        self.on_gc: Optional[Callable[[int, int, int], None]] = None
 
         nb = geometry.nblocks
         self._extents: Dict[Hashable, list[_Extent]] = {}
@@ -286,6 +289,8 @@ class ExtentFTL:
         self.collector.note_collection(victim, moved, reclaimed)
         self.stats.gc_runs += 1
         self.stats.relocated_bytes += moved
+        if self.on_gc is not None:
+            self.on_gc(victim, moved, reclaimed)
         return FlashCost(moved_bytes=moved, erases=1)
 
     def _relocate(

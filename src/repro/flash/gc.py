@@ -38,6 +38,16 @@ class GcStats:
     def max_erase_count(self) -> int:
         return max(self.erase_counts.values(), default=0)
 
+    def snapshot(self) -> dict[str, float]:
+        """Flat scalar view for telemetry/metrics export."""
+        return {
+            "collections": float(self.collections),
+            "erases": float(self.erases),
+            "moved_bytes": float(self.moved_bytes),
+            "reclaimed_bytes": float(self.reclaimed_bytes),
+            "max_erase_count": float(self.max_erase_count),
+        }
+
 
 class GreedyCollector:
     """Selects the victim block with the fewest valid bytes."""

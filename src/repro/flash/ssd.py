@@ -87,6 +87,10 @@ class SimulatedSSD:
         self.ftl = ExtentFTL(geometry, n_streams=n_streams)
         self.queue = Server(sim, name=f"{name}.queue", servers=1)
         self.stats = DeviceStats()
+        #: optional telemetry probe, called synchronously at submit with
+        #: ``(op, key, service_seconds, gc_stall_seconds)`` — the service
+        #: value includes the stall, matching the queued job's service time
+        self.probe: Optional[Callable[[str, Hashable, float, float], None]] = None
 
     # ------------------------------------------------------------------
     # pure timing helpers (used directly by the Fig 1 microbenchmark)
@@ -133,12 +137,15 @@ class SimulatedSSD:
             key = lba
         cost = self.ftl.write(key, nbytes, stream=stream)
         service = self.service_write_time(nbytes)
+        stall = 0.0
         if self.gc_enabled:
             stall = self.gc_time(cost)
             service += stall
             self.stats.gc_stall_time += stall
         self.stats.writes += 1
         self.stats.bytes_written += nbytes
+        if self.probe is not None:
+            self.probe("write", key, service, stall)
         self.queue.submit(
             service,
             on_complete=(None if on_complete is None else (lambda job: on_complete())),
@@ -159,6 +166,9 @@ class SimulatedSSD:
         """
         self.stats.reads += 1
         self.stats.bytes_read += nbytes
+        if self.probe is not None:
+            self.probe("read", key if key is not None else lba,
+                       self.service_read_time(nbytes), 0.0)
         self.queue.submit(
             self.service_read_time(nbytes),
             on_complete=(None if on_complete is None else (lambda job: on_complete())),

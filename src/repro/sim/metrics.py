@@ -28,6 +28,8 @@ class LatencyRecorder:
         self._samples: list[float] = []
 
     def add(self, value: float) -> None:
+        if value != value:  # NaN: would silently poison mean/percentiles
+            raise ValueError("NaN latency sample rejected")
         if value < 0:
             raise ValueError(f"negative latency sample: {value!r}")
         self._samples.append(value)
@@ -46,11 +48,19 @@ class LatencyRecorder:
         return float(np.mean(self._samples))
 
     def percentile(self, p: float) -> float:
-        """p-th percentile (0-100)."""
+        """p-th percentile (0-100).
+
+        Raises :class:`ValueError` when no samples were recorded: a
+        silent 0.0 (or a numpy all-NaN warning) would be read as "this
+        path was instantaneous" rather than "this path never ran".
+        """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile out of range: {p!r}")
         if not self._samples:
-            return 0.0
+            raise ValueError(
+                f"percentile of empty recorder {self.name!r} "
+                "(no samples recorded)"
+            )
         return float(np.percentile(self._samples, p))
 
     def max(self) -> float:

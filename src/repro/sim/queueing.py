@@ -100,6 +100,9 @@ class Server:
         self._queue: Deque[Job] = deque()
         self._in_service = 0
         self.stats = _ServerStats()
+        #: optional telemetry hook, called with each completed :class:`Job`
+        #: (wait and service split known) *before* its ``on_complete``
+        self.observer: Optional[Callable[[Job], None]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -156,5 +159,7 @@ class Server:
         self.stats.busy_time += job.service_time
         self.stats.total_response += job.response
         self._try_start()
+        if self.observer is not None:
+            self.observer(job)
         if job.on_complete is not None:
             job.on_complete(job)

@@ -1,0 +1,61 @@
+"""Telemetry: simulation-clock tracing, streaming metrics, probes, exporters.
+
+A zero-dependency observability layer for the EDC stack.  Four pieces:
+
+- :mod:`repro.telemetry.spans` — :class:`Span`/:class:`Tracer` keyed to
+  the simulation clock, with parent/child nesting and per-layer tags
+  (``estimate``, ``compress``, ``queue``, ``flash_program``,
+  ``gc_stall``, ``read_decompress``).
+- :mod:`repro.telemetry.histograms` — fixed-bucket log2 histograms
+  (p50/p95/p99/p999 in bounded memory), counters, gauges and a registry.
+- :mod:`repro.telemetry.probes` — the :class:`Telemetry` facade and
+  probe registry the device stack reports into.  Instrumentation is
+  opt-in: pass a :class:`Telemetry` to the device (or
+  ``replay(telemetry=...)``); without one the shared
+  :data:`NULL_TELEMETRY` singleton makes every hook a no-op.
+- :mod:`repro.telemetry.exporters` — JSON-lines trace dump, per-layer
+  latency-breakdown table and an ASCII flamegraph summary (wired into
+  ``python -m repro.bench --telemetry``).
+"""
+
+from repro.telemetry.histograms import (
+    Counter,
+    Gauge,
+    Log2Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.spans import LAYERS, NULL_SPAN, NullTracer, Span, Tracer
+from repro.telemetry.probes import (
+    NULL_TELEMETRY,
+    PROBE_POINTS,
+    ProbeRegistry,
+    Telemetry,
+)
+from repro.telemetry.exporters import (
+    ascii_flamegraph,
+    dump_jsonl,
+    layer_breakdown_rows,
+    render_layer_breakdown,
+    render_telemetry_summary,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "LAYERS",
+    "Log2Histogram",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "Telemetry",
+    "ProbeRegistry",
+    "PROBE_POINTS",
+    "NULL_TELEMETRY",
+    "dump_jsonl",
+    "layer_breakdown_rows",
+    "render_layer_breakdown",
+    "render_telemetry_summary",
+    "ascii_flamegraph",
+]

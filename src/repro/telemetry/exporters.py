@@ -1,0 +1,212 @@
+"""Exporters: JSON-lines trace dump, breakdown table, ASCII flamegraph.
+
+Everything renders from a :class:`~repro.telemetry.probes.Telemetry`
+(or its tracer) to plain text / JSON lines, so results drop into
+pytest output, EXPERIMENTS.md and shell pipelines unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple
+
+from repro.telemetry.probes import READ_LAYERS, WRITE_LAYERS, Telemetry
+from repro.telemetry.spans import Span, Tracer
+
+__all__ = [
+    "dump_jsonl",
+    "layer_breakdown_rows",
+    "render_layer_breakdown",
+    "render_telemetry_summary",
+    "ascii_flamegraph",
+]
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+           title: str = "") -> str:
+    """Minimal fixed-width table (kept local: telemetry is zero-dep)."""
+    def fmt(v: object) -> str:
+        return f"{v:.3f}" if isinstance(v, float) else str(v)
+
+    cells = [[str(h) for h in headers]] + [[fmt(c) for c in r] for r in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = [title] if title else []
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# JSON-lines trace dump
+# ----------------------------------------------------------------------
+def dump_jsonl(tracer: Tracer, fp: TextIO) -> int:
+    """Write every retained span as one JSON object per line.
+
+    Returns the number of spans written.  A final metadata line records
+    how many spans were dropped by the tracer's retention cap.
+    """
+    n = 0
+    for span in tracer:
+        fp.write(json.dumps(span.to_dict(), sort_keys=True))
+        fp.write("\n")
+        n += 1
+    if tracer.dropped:
+        fp.write(json.dumps({"meta": "dropped_spans",
+                             "count": tracer.dropped}))
+        fp.write("\n")
+    return n
+
+
+# ----------------------------------------------------------------------
+# per-layer latency breakdown
+# ----------------------------------------------------------------------
+def layer_breakdown_rows(
+    telemetry: Telemetry,
+) -> Dict[str, List[List[object]]]:
+    """``{"write": rows, "read": rows}`` of the per-layer breakdown.
+
+    Row shape: ``[layer, total_s, share_of_end_to_end, mean_us_per_req]``.
+    The write rows end with ``end_to_end`` and the ``unattributed``
+    residual (near zero on a single SSD: the sum-check).
+    """
+    out: Dict[str, List[List[object]]] = {}
+    for path, layers, bd in (
+        ("write", WRITE_LAYERS, telemetry.write_breakdown()),
+        ("read", READ_LAYERS, telemetry.read_breakdown()),
+    ):
+        total = bd["end_to_end"]
+        n = bd["n_requests"]
+        rows: List[List[object]] = []
+        for layer in layers:
+            secs = bd[layer]
+            rows.append([
+                layer,
+                secs,
+                (secs / total) if total > 0 else 0.0,
+                (secs / n * 1e6) if n else 0.0,
+            ])
+        rows.append([
+            "end_to_end", total, 1.0 if total > 0 else 0.0,
+            (total / n * 1e6) if n else 0.0,
+        ])
+        rows.append([
+            "unattributed", bd["unattributed"],
+            (bd["unattributed"] / total) if total > 0 else 0.0,
+            (bd["unattributed"] / n * 1e6) if n else 0.0,
+        ])
+        out[path] = rows
+    return out
+
+
+def render_layer_breakdown(telemetry: Telemetry) -> str:
+    """Both breakdown tables, ready to print."""
+    rows = layer_breakdown_rows(telemetry)
+    parts = []
+    for path, label in (("write", "write path"), ("read", "read path")):
+        n = int(telemetry.write_requests if path == "write"
+                else telemetry.read_requests)
+        parts.append(_table(
+            ["layer", "total_s", "share", "mean_us/req"],
+            rows[path],
+            title=f"Per-layer latency breakdown — {label} ({n} requests)",
+        ))
+    return "\n\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# ASCII flamegraph
+# ----------------------------------------------------------------------
+def _span_paths(tracer: Tracer) -> Dict[Tuple[str, ...], Tuple[float, int]]:
+    """Aggregate spans into name-path -> (total seconds, count)."""
+    by_id: Dict[int, Span] = {s.span_id: s for s in tracer}
+    paths: Dict[Tuple[str, ...], Tuple[float, int]] = {}
+    for span in tracer:
+        names = [span.name]
+        pid = span.parent_id
+        hops = 0
+        while pid is not None and hops < 32:
+            parent = by_id.get(pid)
+            if parent is None:
+                break
+            names.append(parent.name)
+            pid = parent.parent_id
+            hops += 1
+        key = tuple(reversed(names))
+        t, n = paths.get(key, (0.0, 0))
+        paths[key] = (t + span.duration, n + 1)
+    return paths
+
+
+def ascii_flamegraph(
+    tracer: Tracer, width: int = 48, max_rows: int = 40
+) -> str:
+    """Flamegraph-style summary: one bar per aggregated span path.
+
+    Children are indented under their parents; bar width is the path's
+    total time relative to the root total.  Self-explanatory in a
+    terminal where an interactive flamegraph is not available.
+    """
+    paths = _span_paths(tracer)
+    if not paths:
+        return "(no spans recorded)"
+    roots_total = sum(t for (p, (t, _n)) in paths.items() if len(p) == 1)
+    if roots_total <= 0:
+        roots_total = max(t for t, _n in paths.values())
+    lines = [f"flame: total {roots_total * 1e3:.3f} ms over root spans"]
+    shown = 0
+    for path in sorted(paths, key=lambda p: (p[:1], -paths[p][0], p)):
+        total, count = paths[path]
+        if shown >= max_rows:
+            lines.append(f"  ... {len(paths) - shown} more paths")
+            break
+        frac = total / roots_total if roots_total else 0.0
+        bar = "#" * max(1, int(round(frac * width)))
+        indent = "  " * (len(path) - 1)
+        lines.append(
+            f"{indent}{path[-1]:<{max(1, 24 - len(indent))}} "
+            f"{bar:<{width}} {total * 1e3:9.3f} ms  n={count}"
+        )
+        shown += 1
+    if tracer.dropped:
+        lines.append(f"({tracer.dropped} spans dropped by retention cap)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# combined summary
+# ----------------------------------------------------------------------
+def render_telemetry_summary(
+    telemetry: Telemetry, flame: bool = True
+) -> str:
+    """Breakdown tables + key metrics + (optionally) the flamegraph."""
+    telemetry.snapshot_stack()
+    parts = [render_layer_breakdown(telemetry)]
+
+    m = telemetry.metrics
+    hist_rows = []
+    for name, h in sorted(m.histograms.items()):
+        if not h.count:
+            continue
+        q = h.quantiles()
+        hist_rows.append([
+            name, int(h.count), h.mean() * 1e6, q["p50"] * 1e6,
+            q["p95"] * 1e6, q["p99"] * 1e6, q["p99_9"] * 1e6,
+        ])
+    if hist_rows:
+        parts.append(_table(
+            ["histogram", "n", "mean_us", "p50_us", "p95_us", "p99_us",
+             "p999_us"],
+            hist_rows, title="Latency histograms (log2 buckets)",
+        ))
+    scalar_rows = [[k, v] for k, v in sorted(
+        {**{k: c.value for k, c in m.counters.items()},
+         **{k: g.value for k, g in m.gauges.items()}}.items()
+    )]
+    if scalar_rows:
+        parts.append(_table(["metric", "value"], scalar_rows,
+                            title="Counters and gauges"))
+    if flame:
+        parts.append(ascii_flamegraph(telemetry.tracer))
+    return "\n\n".join(parts)

@@ -11,9 +11,16 @@ class TestLatencyRecorder:
         r = LatencyRecorder()
         assert r.count == 0
         assert r.mean() == 0.0
-        assert r.percentile(99) == 0.0
         assert r.max() == 0.0
         assert r.total() == 0.0
+
+    def test_empty_percentile_raises(self):
+        with pytest.raises(ValueError, match="empty recorder"):
+            LatencyRecorder().percentile(99)
+
+    def test_nan_sample_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            LatencyRecorder().add(float("nan"))
 
     def test_mean(self):
         r = LatencyRecorder()
