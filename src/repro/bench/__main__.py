@@ -6,15 +6,23 @@ Usage::
     python -m repro.bench fig1 fig2       # selected exhibits
     python -m repro.bench --duration 60   # shorter replays
     python -m repro.bench --telemetry     # add the per-layer breakdown
+    python -m repro.bench --metrics       # add the time-series dashboard
+    python -m repro.bench --telemetry --metrics   # one replay, both reports
     python -m repro.bench breakdown --trace-dump spans.jsonl
+    python -m repro.bench --metrics --series-dump ts.jsonl --prom-dump metrics.prom
 
 Exhibit names: fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12
 breakdown.  ``fig8``-``fig10`` share one single-SSD replay matrix;
 ``fig11`` runs the RAIS5 matrix.  ``breakdown`` (also enabled by
-``--telemetry``) replays Fin1 under EDC with telemetry attached and
-prints the per-layer latency breakdown, histogram quantiles and an
-ASCII flamegraph; ``--trace-dump PATH`` additionally writes the span
-trace as JSON lines.
+``--telemetry`` and/or ``--metrics``) replays Fin1 under EDC with the
+requested instrumentation attached — both flags share one device and
+one replay.  ``--telemetry`` prints the per-layer latency breakdown,
+histogram quantiles and an ASCII flamegraph (``--trace-dump PATH``
+additionally writes the span trace as JSON lines); ``--metrics``
+samples the time-series vocabulary every 0.25 simulated seconds and
+prints the ASCII dashboard with band-switch markers (``--series-dump
+PATH`` writes the ring series as JSON lines, ``--prom-dump PATH``
+writes a Prometheus-style exposition snapshot).
 """
 
 from __future__ import annotations
@@ -40,28 +48,69 @@ ALL = ("fig1", "fig2", "fig3", "table1", "table2", "fig8", "fig9", "fig10",
 SCHEMES = ("Native", "Lzf", "Gzip", "Bzip2", "EDC")
 
 
-def _run_breakdown(duration: float, trace_dump: str | None) -> None:
-    """Replay Fin1 under EDC with telemetry and print the breakdown."""
+def _run_breakdown(
+    duration: float,
+    trace_dump: str | None,
+    with_telemetry: bool = True,
+    with_metrics: bool = False,
+    series_dump: str | None = None,
+    prom_dump: str | None = None,
+    interval: float = 0.25,
+) -> None:
+    """Replay Fin1 under EDC once, with whichever instrumentation was asked.
+
+    ``--telemetry`` and ``--metrics`` compose here: one device, one
+    replay, and each flag only adds its report over the shared run.
+    """
     from repro.bench.experiments import replay
     from repro.sim.engine import Simulator
-    from repro.telemetry import Telemetry, dump_jsonl
+    from repro.telemetry import (
+        Telemetry,
+        TimeSeriesSampler,
+        dump_jsonl,
+        dump_timeseries_jsonl,
+        render_dashboard,
+        render_exposition,
+    )
     from repro.traces.workloads import make_workload
 
-    # Open the dump target first so a bad path fails before the replay.
-    fp = open(trace_dump, "w", encoding="utf-8") if trace_dump else None
+    # Open every dump target first so a bad path fails before the replay.
+    fps = {}
     try:
-        telemetry = Telemetry(Simulator())
+        for label, path in (("trace", trace_dump), ("series", series_dump),
+                            ("prom", prom_dump)):
+            if path:
+                fps[label] = open(path, "w", encoding="utf-8")
+        telemetry = Telemetry(Simulator()) if with_telemetry else None
+        sampler = TimeSeriesSampler(interval=interval) if with_metrics else None
         trace = make_workload("Fin1", duration=duration)
-        result = replay(trace, "EDC", telemetry=telemetry)
-        print(f"telemetry: Fin1 x EDC, {result.n_requests} requests, "
+        result = replay(trace, "EDC", telemetry=telemetry, sampler=sampler)
+        parts = [p for on, p in ((with_telemetry, "telemetry"),
+                                 (with_metrics, "metrics")) if on]
+        print(f"{'+'.join(parts)}: Fin1 x EDC, {result.n_requests} requests, "
               f"mean response {result.mean_response * 1e3:.3f} ms")
-        print()
-        print(render_telemetry(telemetry))
-        if fp is not None:
-            n = dump_jsonl(telemetry.tracer, fp)
-            print(f"\nwrote {n} spans to {trace_dump}")
+        if telemetry is not None:
+            print()
+            print(render_telemetry(telemetry))
+            if "trace" in fps:
+                n = dump_jsonl(telemetry.tracer, fps["trace"])
+                print(f"\nwrote {n} spans to {trace_dump}")
+        if sampler is not None:
+            print()
+            print(render_dashboard(sampler))
+            if "series" in fps:
+                n = dump_timeseries_jsonl(sampler, fps["series"])
+                print(f"\nwrote {n} series/marker lines to {series_dump}")
+        if "prom" in fps:
+            text = render_exposition(
+                metrics=telemetry.metrics if telemetry is not None else None,
+                sampler=sampler,
+            )
+            fps["prom"].write(text)
+            print(f"wrote {len(text.splitlines())} exposition lines "
+                  f"to {prom_dump}")
     finally:
-        if fp is not None:
+        for fp in fps.values():
             fp.close()
 
 
@@ -92,12 +141,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--telemetry", action="store_true",
                         help="also run the 'breakdown' exhibit: per-layer "
                              "latency breakdown of a Fin1 EDC replay")
+    parser.add_argument("--metrics", action="store_true",
+                        help="also run the 'breakdown' exhibit with the "
+                             "time-series sampler: ASCII dashboard with "
+                             "band-switch markers (composes with "
+                             "--telemetry over one shared replay)")
     parser.add_argument("--trace-dump", metavar="PATH", default=None,
                         help="with telemetry, write the span trace as "
                              "JSON lines to PATH")
+    parser.add_argument("--series-dump", metavar="PATH", default=None,
+                        help="with --metrics, write the sampled time "
+                             "series as JSON lines to PATH")
+    parser.add_argument("--prom-dump", metavar="PATH", default=None,
+                        help="write a Prometheus-style exposition snapshot "
+                             "of the instrumented replay to PATH")
+    parser.add_argument("--sample-interval", type=float, default=0.25,
+                        help="sampler tick in virtual seconds "
+                             "(default 0.25)")
     args = parser.parse_args(argv)
-    wanted = tuple(args.exhibits) or (ALL[:-1] if not args.telemetry else ALL)
-    if args.telemetry and "breakdown" not in wanted:
+    instrumented = args.telemetry or args.metrics or bool(args.prom_dump)
+    wanted = tuple(args.exhibits) or (ALL[:-1] if not instrumented else ALL)
+    if instrumented and "breakdown" not in wanted:
         wanted = wanted + ("breakdown",)
     unknown = set(wanted) - set(ALL)
     if unknown:
@@ -154,9 +218,20 @@ def main(argv: list[str] | None = None) -> int:
             _print_matrix(m, "mean_response",
                           "Fig 11: response time vs Native (RAIS5)")
         elif name == "breakdown":
-            print(f"running the telemetry breakdown replay "
+            print(f"running the instrumented replay "
                   f"(duration {args.duration:.0f}s)...")
-            _run_breakdown(args.duration, args.trace_dump)
+            # Explicit `breakdown` exhibit without flags keeps the old
+            # telemetry-only behaviour; --metrics alone skips the span
+            # machinery it doesn't need.
+            _run_breakdown(
+                args.duration,
+                args.trace_dump,
+                with_telemetry=args.telemetry or not args.metrics,
+                with_metrics=args.metrics,
+                series_dump=args.series_dump,
+                prom_dump=args.prom_dump,
+                interval=args.sample_interval,
+            )
         elif name == "fig12":
             pts = fig12_threshold_sensitivity(duration=args.duration)
             print(render_table(

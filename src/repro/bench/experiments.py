@@ -90,6 +90,7 @@ class ExperimentResult:
     mean_response: float
     mean_write_response: float
     mean_read_response: float
+    p95_response: float
     p99_response: float
     write_amplification: float
     gc_stall_time: float
@@ -124,6 +125,7 @@ def replay(
     bands: Optional[Sequence[IntensityBand]] = None,
     cost_model: Optional[CodecCostModel] = None,
     telemetry=None,
+    sampler=None,
 ) -> ExperimentResult:
     """Replay ``trace`` under ``scheme`` and collect the result record.
 
@@ -132,6 +134,13 @@ def replay(
     simulator, a telemetry object built on any simulator is re-keyed
     onto the replay's clock before the run; after the call its tracer,
     metrics and per-layer breakdown describe this replay.
+
+    ``sampler`` optionally attaches a
+    :class:`~repro.telemetry.TimeSeriesSampler`: it is bound to the
+    replay's simulator and device (standard metric vocabulary) and
+    started before the first request, so after the call its ring series
+    hold the replay's time-resolved view.  Telemetry and sampler
+    compose — one replay feeds both.
     """
     cfg = cfg if cfg is not None else ReplayConfig()
     sim = Simulator()
@@ -153,6 +162,9 @@ def replay(
         config=cfg.device_config, bands=bands, cost_model=cost_model,
         telemetry=telemetry,
     )
+    if sampler is not None:
+        sampler.attach(sim, device)
+        sampler.start()
     TraceReplayer(sim, device).replay(folded)
 
     if devices is None:
@@ -169,7 +181,10 @@ def replay(
     all_samples = np.concatenate(
         [device.write_latency.samples(), device.read_latency.samples()]
     )
-    p99 = float(np.percentile(all_samples, 99)) if all_samples.size else 0.0
+    if all_samples.size:
+        p95, p99 = (float(v) for v in np.percentile(all_samples, (95, 99)))
+    else:
+        p95 = p99 = 0.0
     return ExperimentResult(
         scheme=scheme,
         trace_name=trace.name,
@@ -180,6 +195,7 @@ def replay(
         mean_response=device.mean_response_time(),
         mean_write_response=device.write_latency.mean(),
         mean_read_response=device.read_latency.mean(),
+        p95_response=p95,
         p99_response=p99,
         write_amplification=wa,
         gc_stall_time=gc_stall,

@@ -124,6 +124,11 @@ class EDCBlockDevice:
         """Requests submitted but not yet fully completed."""
         return self._outstanding
 
+    @property
+    def backend(self):
+        """The storage backend below the distributer (SSD or array)."""
+        return self.distributer.backend
+
     def submit(self, request: IORequest) -> None:
         """Process one request arriving *now* (``sim.now``)."""
         self.monitor.record(self.sim.now, request.op, request.nbytes)

@@ -5,13 +5,23 @@ the number of 4 KB-page-equivalents issued per second, so that one 8 KB
 request counts as two 4 KB requests.  The Compression Engine consults
 the monitor on every write to pick the band-appropriate codec (Fig 6's
 feedback loop).
+
+The sliding window is one deque of ``(time, pages, reads)`` tuples with
+three running sums, so each :meth:`WorkloadMonitor.record` call prunes
+expired entries exactly once — O(evicted) total, not O(evicted) per
+tracked quantity.  Timestamps are **clamped** rather than rejected:
+completion callbacks and out-of-band probes occasionally observe the
+clock a hair behind the last arrival, and a hard raise there would take
+down the replay for a measurement artefact.  A clamped event is counted
+at the monitor's latest known time, which is the closest truthful
+placement inside the window.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-
-from repro.sim.metrics import WindowRate
+from typing import Deque, Tuple
 
 __all__ = ["WorkloadMonitor", "MonitorSnapshot"]
 
@@ -29,19 +39,25 @@ class MonitorSnapshot:
 class WorkloadMonitor:
     """Sliding-window I/O intensity measurement.
 
-    ``record`` must be called with non-decreasing timestamps (the replay
-    loop guarantees this); ``calculated_iops`` may be queried at any
-    time at or after the last recorded event.
+    ``record`` accepts any timestamp ordering: a timestamp earlier than
+    the latest one seen is clamped up to it (see the module docstring),
+    so stale entries can never linger past their window.  Queries with a
+    ``now`` behind the newest recorded event are clamped the same way.
     """
 
     def __init__(self, window: float = 1.0, page_size: int = 4096) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive: {window!r}")
         if page_size <= 0:
             raise ValueError(f"page_size must be positive: {page_size!r}")
         self.page_size = page_size
         self.window = window
-        self._pages = WindowRate(window)
-        self._requests = WindowRate(window)
-        self._reads = WindowRate(window)
+        #: (time, pages, reads) per request, newest at the right
+        self._events: Deque[Tuple[float, float, float]] = deque()
+        self._pages_sum = 0.0
+        self._requests_sum = 0.0
+        self._reads_sum = 0.0
+        self._last_t = float("-inf")
         self.total_requests = 0
         self.total_pages = 0
 
@@ -52,29 +68,76 @@ class WorkloadMonitor:
         return max(1, (nbytes + self.page_size - 1) // self.page_size)
 
     def record(self, time: float, op: str, nbytes: int) -> None:
-        """Note one request entering the system."""
-        pages = self.pages_of(nbytes)
-        self._pages.record(time, pages)
-        self._requests.record(time, 1.0)
-        self._reads.record(time, 1.0 if op == "R" else 0.0)
+        """Note one request entering the system.
+
+        Non-monotonic ``time`` values are clamped up to the latest
+        timestamp already recorded, keeping the deque time-ordered (the
+        invariant single-pass pruning relies on).
+        """
+        if time < self._last_t:
+            time = self._last_t
+        else:
+            self._last_t = time
+        pages = float(self.pages_of(nbytes))
+        reads = 1.0 if op == "R" else 0.0
+        self._events.append((time, pages, reads))
+        self._pages_sum += pages
+        self._requests_sum += 1.0
+        self._reads_sum += reads
         self.total_requests += 1
-        self.total_pages += pages
+        self.total_pages += int(pages)
+        self._expire(time)
+
+    def _expire(self, now: float) -> None:
+        """Drop entries at or before ``now - window``: one pass, O(evicted)."""
+        cutoff = now - self.window
+        ev = self._events
+        while ev and ev[0][0] <= cutoff:
+            _, pages, reads = ev.popleft()
+            self._pages_sum -= pages
+            self._requests_sum -= 1.0
+            self._reads_sum -= reads
+        if not ev:
+            # Clear accumulated floating-point residue so an empty window
+            # reads exactly zero (sums can otherwise go slightly negative).
+            self._pages_sum = self._requests_sum = self._reads_sum = 0.0
+
+    def reset(self) -> None:
+        """Return the monitor to its freshly-constructed state.
+
+        Clears the sliding window, the clamp watermark *and* the
+        cumulative totals — reuse across replays must not leak intensity
+        from the previous run into the first window of the next.
+        """
+        self._events.clear()
+        self._pages_sum = self._requests_sum = self._reads_sum = 0.0
+        self._last_t = float("-inf")
+        self.total_requests = 0
+        self.total_pages = 0
 
     # ------------------------------------------------------------------
+    def _clamped(self, now: float) -> float:
+        return now if now >= self._last_t else self._last_t
+
     def calculated_iops(self, now: float) -> float:
         """4 KB-normalised I/Os per second over the trailing window."""
-        return self._pages.rate(now)
+        now = self._clamped(now)
+        self._expire(now)
+        return self._pages_sum / self.window
 
     def raw_iops(self, now: float) -> float:
         """Request arrivals per second over the trailing window."""
-        return self._requests.rate(now)
+        now = self._clamped(now)
+        self._expire(now)
+        return self._requests_sum / self.window
 
     def snapshot(self, now: float) -> MonitorSnapshot:
-        raw = self._requests.total_in_window(now)
-        reads = self._reads.total_in_window(now)
+        now = self._clamped(now)
+        self._expire(now)
+        raw = self._requests_sum
         return MonitorSnapshot(
             time=now,
-            calculated_iops=self._pages.rate(now),
+            calculated_iops=self._pages_sum / self.window,
             raw_iops=raw / self.window,
-            read_fraction=(reads / raw) if raw > 0 else 0.0,
+            read_fraction=(self._reads_sum / raw) if raw > 0 else 0.0,
         )

@@ -147,6 +147,20 @@ class ElasticPolicy(CompressionPolicy):
                 return band.codec
         raise AssertionError("unreachable: last band is unbounded")
 
+    def band_index(self, calculated_iops: float) -> int:
+        """Band :meth:`select_codec` would choose at this intensity.
+
+        Pure query: no counters move and no ``on_select`` hook fires, so
+        the time-series sampler can read the active band every tick
+        without polluting the selection statistics.
+        """
+        if calculated_iops < 0:
+            raise ValueError(f"negative intensity: {calculated_iops!r}")
+        for i, band in enumerate(self.bands):
+            if calculated_iops < band.upper_iops:
+                return i
+        raise AssertionError("unreachable: last band is unbounded")
+
     def band_shares(self) -> list[float]:
         """Fraction of selections that landed in each band."""
         total = sum(self.band_counts)

@@ -77,6 +77,12 @@ class SizeClassAllocator:
         self._free: Dict[int, int] = {c.nbytes: 0 for c in self.classes}
         self._live: Dict[Hashable, Tuple[SlotClass, int]] = {}
         self._physical_bytes = 0
+        #: live slot count per class *fraction*, maintained O(1) per
+        #: alloc/free so the time-series sampler can read occupancy
+        #: every tick without walking ``_live``
+        self._live_by_fraction: Dict[float, int] = {
+            c.fraction: 0 for c in self.classes
+        }
 
     # ------------------------------------------------------------------
     @property
@@ -142,6 +148,9 @@ class SizeClassAllocator:
         else:
             self._physical_bytes += cls.nbytes
         self._live[key] = (cls, stored)
+        self._live_by_fraction[cls.fraction] = (
+            self._live_by_fraction.get(cls.fraction, 0) + 1
+        )
         self.stats.allocations += 1
         self.stats.internal_fragmentation += cls.nbytes - stored
         return cls
@@ -153,6 +162,7 @@ class SizeClassAllocator:
             return False
         cls, stored = entry
         self._free[cls.nbytes] = self._free.get(cls.nbytes, 0) + 1
+        self._live_by_fraction[cls.fraction] -= 1
         self.stats.frees += 1
         self.stats.internal_fragmentation -= cls.nbytes - stored
         return True
@@ -182,8 +192,22 @@ class SizeClassAllocator:
         return sum(stored for _, stored in self._live.values())
 
     def class_histogram(self) -> Dict[float, int]:
-        """Live slot count per class fraction."""
-        hist = {c.fraction: 0 for c in self.classes}
-        for cls, _ in self._live.values():
-            hist[cls.fraction] += 1
-        return hist
+        """Live slot count per class fraction (O(1): maintained counters)."""
+        return dict(self._live_by_fraction)
+
+    @property
+    def free_slot_count(self) -> int:
+        """Recyclable free slots across all classes."""
+        return sum(self._free.values())
+
+    def occupancy(self) -> Dict[float, float]:
+        """Per-fraction share of live slots (sums to 1.0 when any live).
+
+        The "slot occupancy" time series: drift between the 25/50/75/100 %
+        classes over a replay shows compressibility (and the 75 % rule)
+        changing with the workload phase.
+        """
+        total = sum(self._live_by_fraction.values())
+        if total == 0:
+            return {f: 0.0 for f in self._live_by_fraction}
+        return {f: c / total for f, c in self._live_by_fraction.items()}

@@ -24,7 +24,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-__all__ = ["Simulator", "EventHandle", "SimulationError"]
+__all__ = ["Simulator", "EventHandle", "PeriodicEvent", "SimulationError"]
 
 
 class SimulationError(RuntimeError):
@@ -48,6 +48,55 @@ class _Scheduled:
     seq: int
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    daemon: bool = field(default=False, compare=False)
+
+
+class PeriodicEvent:
+    """A self-rescheduling event created by :meth:`Simulator.every`.
+
+    Fires ``action`` every ``interval`` seconds until cancelled.  By
+    default the recurrences are *daemon* events: they tick while the
+    simulation has other (foreground) work but do not keep
+    :meth:`Simulator.run` alive on their own — exactly what a periodic
+    metrics sampler needs to avoid turning ``run()`` into an infinite
+    loop.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        interval: float,
+        action: Callable[[], None],
+        daemon: bool = True,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive: {interval!r}")
+        self.sim = sim
+        self.interval = interval
+        self.action = action
+        self.daemon = daemon
+        self.fired = 0
+        self._cancelled = False
+        self._handle = sim.schedule(interval, self._fire, daemon=daemon)
+
+    def _fire(self) -> None:
+        if self._cancelled:  # pragma: no cover - cancel() also cancels the event
+            return
+        self.fired += 1
+        self.action()
+        if not self._cancelled:
+            self._handle = self.sim.schedule(
+                self.interval, self._fire, daemon=self.daemon
+            )
+
+    def cancel(self) -> None:
+        """Stop recurring; the pending occurrence is cancelled too."""
+        self._cancelled = True
+        self.sim.cancel(self._handle)
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
 
 
 class Simulator:
@@ -65,6 +114,7 @@ class Simulator:
         self._live: dict[int, _Scheduled] = {}
         self._seq = itertools.count()
         self._dispatched = 0
+        self._foreground = 0
 
     # ------------------------------------------------------------------
     # clock
@@ -80,6 +130,11 @@ class Simulator:
         return len(self._live)
 
     @property
+    def pending_foreground(self) -> int:
+        """Pending non-daemon events (the ones that keep :meth:`run` alive)."""
+        return self._foreground
+
+    @property
     def dispatched(self) -> int:
         """Total number of events dispatched since construction."""
         return self._dispatched
@@ -87,27 +142,52 @@ class Simulator:
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
-    def schedule(self, delay: float, action: Callable[[], None]) -> EventHandle:
+    def schedule(
+        self, delay: float, action: Callable[[], None], daemon: bool = False
+    ) -> EventHandle:
         """Schedule ``action`` to run ``delay`` seconds from now.
 
         ``delay`` must be non-negative; a zero delay runs the action after
-        all events already scheduled for the current instant.
+        all events already scheduled for the current instant.  ``daemon``
+        events dispatch normally but do not keep :meth:`run` alive: once
+        only daemon events remain the simulation is considered drained
+        (the hook periodic samplers are built on).
         """
         if delay < 0:
             raise SimulationError(f"negative delay: {delay!r}")
-        return self.schedule_at(self._now + delay, action)
+        return self.schedule_at(self._now + delay, action, daemon=daemon)
 
-    def schedule_at(self, time: float, action: Callable[[], None]) -> EventHandle:
+    def schedule_at(
+        self, time: float, action: Callable[[], None], daemon: bool = False
+    ) -> EventHandle:
         """Schedule ``action`` at absolute virtual time ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule in the past: {time!r} < now {self._now!r}"
             )
         seq = next(self._seq)
-        ev = _Scheduled(time, seq, action)
+        ev = _Scheduled(time, seq, action, daemon=daemon)
         heapq.heappush(self._heap, ev)
         self._live[seq] = ev
+        if not daemon:
+            self._foreground += 1
         return EventHandle(time, seq)
+
+    def every(
+        self,
+        interval: float,
+        action: Callable[[], None],
+        daemon: bool = True,
+    ) -> PeriodicEvent:
+        """Run ``action`` every ``interval`` seconds until cancelled.
+
+        The first occurrence fires at ``now + interval``.  Returns the
+        :class:`PeriodicEvent` (call ``cancel()`` to stop it).  With the
+        default ``daemon=True`` the recurrence never keeps :meth:`run`
+        alive by itself, so a sampler can tick "forever" and the
+        simulation still terminates when the real workload drains.
+        """
+        return PeriodicEvent(self, interval, action, daemon=daemon)
 
     def cancel(self, handle: EventHandle) -> bool:
         """Cancel a pending event.  Returns ``True`` if it was still pending."""
@@ -115,6 +195,8 @@ class Simulator:
         if ev is None:
             return False
         ev.cancelled = True
+        if not ev.daemon:
+            self._foreground -= 1
         return True
 
     # ------------------------------------------------------------------
@@ -127,6 +209,8 @@ class Simulator:
             if ev.cancelled:
                 continue
             del self._live[ev.seq]
+            if not ev.daemon:
+                self._foreground -= 1
             self._now = ev.time
             self._dispatched += 1
             ev.action()
@@ -136,11 +220,14 @@ class Simulator:
     def run(self, until: Optional[float] = None) -> None:
         """Run until the event queue drains (or past ``until`` seconds).
 
-        With ``until`` set, events strictly after that time remain queued
-        and the clock is advanced to ``until`` exactly.
+        "Drained" means no *foreground* events remain: daemon events
+        (periodic samplers) by themselves do not keep the loop alive.
+        With ``until`` set, all events up to that time — daemon ones
+        included — are dispatched and the clock is advanced to ``until``
+        exactly.
         """
         if until is None:
-            while self.step():
+            while self._foreground and self.step():
                 pass
             return
         if until < self._now:

@@ -115,6 +115,15 @@ class Server:
         return self._in_service
 
     @property
+    def depth(self) -> int:
+        """Total occupancy right now: waiting jobs plus jobs in service.
+
+        This is the instantaneous queue-depth gauge the time-series
+        sampler scrapes (queue_length alone hides a busy server).
+        """
+        return len(self._queue) + self._in_service
+
+    @property
     def busy(self) -> bool:
         return self._in_service > 0 or bool(self._queue)
 

@@ -16,6 +16,13 @@ A zero-dependency observability layer for the EDC stack.  Four pieces:
 - :mod:`repro.telemetry.exporters` — JSON-lines trace dump, per-layer
   latency-breakdown table and an ASCII flamegraph summary (wired into
   ``python -m repro.bench --telemetry``).
+- :mod:`repro.telemetry.timeseries` — ring-buffered time series and the
+  simulation-clock periodic sampler (``replay(sampler=...)`` /
+  ``python -m repro.bench --metrics``).
+- :mod:`repro.telemetry.exposition` — Prometheus-style text exposition
+  (render + parse) over the metrics registry and sampled series.
+- :mod:`repro.telemetry.dashboard` — ASCII multi-panel sparkline
+  dashboard with band-switch markers.
 """
 
 from repro.telemetry.histograms import (
@@ -38,6 +45,19 @@ from repro.telemetry.exporters import (
     render_layer_breakdown,
     render_telemetry_summary,
 )
+from repro.telemetry.timeseries import (
+    MarkerSeries,
+    RingSeries,
+    TimeSeriesSampler,
+    bind_standard_metrics,
+    dump_timeseries_jsonl,
+)
+from repro.telemetry.exposition import (
+    ExpositionError,
+    parse_exposition,
+    render_exposition,
+)
+from repro.telemetry.dashboard import render_dashboard, sparkline
 
 __all__ = [
     "Span",
@@ -58,4 +78,14 @@ __all__ = [
     "render_layer_breakdown",
     "render_telemetry_summary",
     "ascii_flamegraph",
+    "RingSeries",
+    "MarkerSeries",
+    "TimeSeriesSampler",
+    "bind_standard_metrics",
+    "dump_timeseries_jsonl",
+    "ExpositionError",
+    "render_exposition",
+    "parse_exposition",
+    "render_dashboard",
+    "sparkline",
 ]

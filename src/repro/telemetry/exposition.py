@@ -1,0 +1,200 @@
+"""Prometheus-style text exposition of the telemetry state.
+
+:func:`render_exposition` snapshots a
+:class:`~repro.telemetry.histograms.MetricsRegistry` (counters, gauges,
+log2 histograms) and/or the latest values of a
+:class:`~repro.telemetry.timeseries.TimeSeriesSampler` into the
+Prometheus text exposition format (version 0.0.4): ``# HELP`` / ``# TYPE``
+comments, ``name{label="value"} value`` samples, histograms as
+cumulative ``_bucket{le=...}`` series plus ``_sum`` / ``_count``.
+
+:func:`parse_exposition` is the matching reader.  It exists so the
+format stays honest: the round-trip test (render → parse → same names,
+labels and values, no duplicates) is part of the tier-1 suite, and any
+future series that would emit an unparsable or colliding line fails
+there instead of in someone's scrape pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["render_exposition", "parse_exposition", "ExpositionError"]
+
+#: Valid Prometheus metric-name characters.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LINE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"$')
+
+
+class ExpositionError(ValueError):
+    """Raised by :func:`parse_exposition` on a malformed document."""
+
+
+def sanitize_name(name: str) -> str:
+    """Map a dotted internal metric name onto the Prometheus charset."""
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not out or not _NAME_RE.match(out):
+        out = "_" + out
+    return out
+
+
+def _fmt_value(v: float) -> str:
+    if v != v:
+        raise ValueError("NaN cannot be exposed")
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    return repr(float(v))
+
+
+def _fmt_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{sanitize_name(k)}="{str(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+class _Writer:
+    """Accumulates lines and enforces sample uniqueness at render time."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._seen: set = set()
+        self._typed: set = set()
+
+    def header(self, name: str, mtype: str, help_text: str) -> None:
+        if name in self._typed:
+            return
+        self._typed.add(name)
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {mtype}")
+
+    def sample(
+        self, name: str, value: float, labels: Optional[Dict[str, str]] = None
+    ) -> None:
+        key = (name, tuple(sorted((labels or {}).items())))
+        if key in self._seen:
+            raise ValueError(f"duplicate exposition sample: {key!r}")
+        self._seen.add(key)
+        self.lines.append(
+            f"{name}{_fmt_labels(labels or {})} {_fmt_value(value)}"
+        )
+
+
+def render_exposition(
+    metrics=None,
+    sampler=None,
+    namespace: str = "edc",
+) -> str:
+    """Render one scrape snapshot as Prometheus exposition text.
+
+    ``metrics`` is a :class:`MetricsRegistry` (or ``None``); ``sampler``
+    a :class:`TimeSeriesSampler` (or ``None``) whose series contribute
+    their *latest* point as gauges — labelled series (codec shares, slot
+    classes) merge into one metric family with distinct label sets.
+    """
+    w = _Writer()
+    ns = sanitize_name(namespace)
+
+    if metrics is not None:
+        for name in sorted(metrics.counters):
+            c = metrics.counters[name]
+            full = f"{ns}_{sanitize_name(name)}_total"
+            w.header(full, "counter", f"Counter {name!r}.")
+            w.sample(full, c.value)
+        for name in sorted(metrics.gauges):
+            g = metrics.gauges[name]
+            full = f"{ns}_{sanitize_name(name)}"
+            w.header(full, "gauge", f"Gauge {name!r}.")
+            w.sample(full, g.value)
+        for name in sorted(metrics.histograms):
+            h = metrics.histograms[name]
+            full = f"{ns}_{sanitize_name(name)}"
+            w.header(full, "histogram", f"Log2 histogram {name!r}.")
+            cum = h._zero
+            # Only non-empty buckets are emitted; counts are cumulative,
+            # so sparse upper bounds still parse as a valid histogram.
+            if h._zero:
+                w.sample(f"{full}_bucket", float(cum), {"le": "0.0"})
+            for idx, count in enumerate(h._counts):
+                if not count:
+                    continue
+                cum += count
+                _lo, hi = h._bucket_bounds(idx)
+                w.sample(f"{full}_bucket", float(cum), {"le": _fmt_value(hi)})
+            w.sample(f"{full}_bucket", float(h.count), {"le": "+Inf"})
+            w.sample(f"{full}_sum", h.sum)
+            w.sample(f"{full}_count", float(h.count))
+
+    if sampler is not None:
+        for name in sorted(sampler.series):
+            s = sampler.series[name]
+            point = s.last()
+            if point is None:
+                continue
+            t, v = point
+            full = f"{ns}_ts_{sanitize_name(s.metric)}"
+            w.header(
+                full, "gauge",
+                f"Latest sample of time series family {s.metric!r}.",
+            )
+            w.sample(full, v, s.labels or None)
+        for channel in sorted(sampler.markers):
+            m = sampler.markers[channel]
+            full = f"{ns}_marker_{sanitize_name(channel)}_total"
+            w.header(full, "counter", f"Markers on channel {channel!r}.")
+            w.sample(full, float(len(m) + m.dropped))
+        full = f"{ns}_sampler_ticks_total"
+        w.header(full, "counter", "Sampler ticks taken.")
+        w.sample(full, float(sampler.ticks))
+
+    return "\n".join(w.lines) + "\n" if w.lines else ""
+
+
+def parse_exposition(
+    text: str,
+) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
+    """Parse exposition text back into ``{(name, labels): value}``.
+
+    Labels are a sorted tuple of ``(key, value)`` pairs.  Raises
+    :class:`ExpositionError` on malformed lines or duplicate samples —
+    the two failure modes a Prometheus scraper rejects a target for.
+    """
+    out: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _LINE_RE.match(line)
+        if m is None:
+            raise ExpositionError(f"line {lineno}: unparsable: {raw!r}")
+        name = m.group("name")
+        labels: List[Tuple[str, str]] = []
+        body = m.group("labels")
+        if body:
+            for part in body.split(","):
+                lm = _LABEL_RE.match(part.strip())
+                if lm is None:
+                    raise ExpositionError(
+                        f"line {lineno}: bad label {part!r}"
+                    )
+                labels.append((lm.group("key"), lm.group("val")))
+        try:
+            value = float(m.group("value"))
+        except ValueError as exc:
+            raise ExpositionError(
+                f"line {lineno}: bad value {m.group('value')!r}"
+            ) from exc
+        key = (name, tuple(sorted(labels)))
+        if key in out:
+            raise ExpositionError(f"line {lineno}: duplicate sample {key!r}")
+        out[key] = value
+    return out

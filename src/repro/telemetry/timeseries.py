@@ -1,0 +1,428 @@
+"""Ring-buffered time series and the simulation-clock periodic sampler.
+
+The PR-1 telemetry answers "where did the time go" per request; this
+module answers "what did the system look like *over* time".  A
+:class:`TimeSeriesSampler` registers scrape callables for a fixed metric
+vocabulary (IOPS, active band, codec shares, compression ratio, slot
+occupancy, queue depths, GC activity, write amplification, flash busy
+fraction) and ticks them on a daemon :class:`~repro.sim.engine.PeriodicEvent`
+— the sampler rides the simulation clock, never wall time, and cannot
+keep the event loop alive once the workload drains.
+
+Each sampled value lands in a :class:`RingSeries` (fixed capacity, old
+points dropped, drop count kept), so memory stays constant no matter how
+long the replay runs.  Band switches are recorded out-of-band as exact
+:class:`MarkerSeries` events via the policy's ``on_select`` hook, so a
+switch between two ticks is never lost.
+
+Sinks over the sampled state live next door:
+:func:`~repro.telemetry.exposition.render_exposition` (Prometheus-style
+text), :func:`dump_timeseries_jsonl` (JSONL dump) and
+:func:`~repro.telemetry.dashboard.render_dashboard` (ASCII panels).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, TextIO, Tuple
+
+__all__ = [
+    "RingSeries",
+    "MarkerSeries",
+    "TimeSeriesSampler",
+    "bind_standard_metrics",
+    "dump_timeseries_jsonl",
+]
+
+
+class RingSeries:
+    """Fixed-capacity ``(time, value)`` series; oldest points drop first.
+
+    ``labels`` optionally carries Prometheus-style labels (e.g.
+    ``{"codec": "gzip"}``) and ``metric`` the label-free metric family
+    name; the exposition sink uses both.
+    """
+
+    __slots__ = ("name", "capacity", "metric", "labels", "dropped",
+                 "_ts", "_vs", "_start")
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int = 4096,
+        metric: Optional[str] = None,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity!r}")
+        self.name = name
+        self.capacity = capacity
+        self.metric = metric if metric is not None else name
+        self.labels = dict(labels) if labels else {}
+        self.dropped = 0
+        self._ts: List[float] = []
+        self._vs: List[float] = []
+        self._start = 0  # ring head once full
+
+    def append(self, t: float, v: float) -> None:
+        if v != v:
+            raise ValueError(f"NaN sample rejected on series {self.name!r}")
+        if len(self._ts) < self.capacity:
+            self._ts.append(t)
+            self._vs.append(v)
+        else:
+            self._ts[self._start] = t
+            self._vs[self._start] = v
+            self._start = (self._start + 1) % self.capacity
+            self.dropped += 1
+
+    def __len__(self) -> int:
+        return len(self._ts)
+
+    def points(self) -> Tuple[List[float], List[float]]:
+        """``(times, values)`` in chronological order."""
+        s = self._start
+        if s == 0:
+            return list(self._ts), list(self._vs)
+        return self._ts[s:] + self._ts[:s], self._vs[s:] + self._vs[:s]
+
+    def values(self) -> List[float]:
+        return self.points()[1]
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        if not self._ts:
+            return None
+        i = (self._start - 1) % len(self._ts)
+        return self._ts[i], self._vs[i]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RingSeries({self.name!r}, n={len(self)}, dropped={self.dropped})"
+
+
+class MarkerSeries:
+    """Fixed-capacity ``(time, label)`` event markers (band switches)."""
+
+    __slots__ = ("name", "capacity", "dropped", "_events")
+
+    def __init__(self, name: str, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity!r}")
+        self.name = name
+        self.capacity = capacity
+        self.dropped = 0
+        self._events: List[Tuple[float, str]] = []
+
+    def add(self, t: float, label: str) -> None:
+        if len(self._events) >= self.capacity:
+            self._events.pop(0)
+            self.dropped += 1
+        self._events.append((t, label))
+
+    def events(self) -> List[Tuple[float, str]]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class TimeSeriesSampler:
+    """Periodic scraper of registered collectors into ring series.
+
+    Lifecycle::
+
+        sampler = TimeSeriesSampler(interval=0.25)
+        sampler.attach(sim, device)   # registers the standard vocabulary
+        sampler.start()               # daemon periodic event on sim
+        ... run the replay ...
+        print(render_dashboard(sampler))
+
+    ``replay(..., sampler=sampler)`` does attach+start for you.
+    Collectors are zero-argument callables returning a float (or
+    ``None`` to skip the tick); ``register_multi`` handles families
+    whose members appear over time (per-codec shares).
+    """
+
+    def __init__(self, interval: float = 0.25, capacity: int = 4096) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval!r}")
+        self.interval = interval
+        self.capacity = capacity
+        self.series: Dict[str, RingSeries] = {}
+        self.markers: Dict[str, MarkerSeries] = {}
+        self.ticks = 0
+        self.sim = None
+        self.device = None
+        self._collectors: List[Tuple[str, Callable[[], Optional[float]]]] = []
+        self._multi: List[Tuple[str, Callable[[], Dict[str, float]]]] = []
+        self._multi_label_keys: Dict[str, Optional[str]] = {}
+        self._periodic = None
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def series_for(
+        self,
+        name: str,
+        metric: Optional[str] = None,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> RingSeries:
+        s = self.series.get(name)
+        if s is None:
+            s = self.series[name] = RingSeries(
+                name, self.capacity, metric=metric, labels=labels
+            )
+        return s
+
+    def register(
+        self,
+        name: str,
+        fn: Callable[[], Optional[float]],
+        metric: Optional[str] = None,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Scrape ``fn()`` into series ``name`` every tick."""
+        self.series_for(name, metric=metric, labels=labels)
+        self._collectors.append((name, fn))
+
+    def register_multi(
+        self, prefix: str, fn: Callable[[], Dict[str, float]],
+        label_key: Optional[str] = None,
+    ) -> None:
+        """Scrape a dict-valued family: ``fn() -> {member: value}``.
+
+        Series are created lazily as members appear, named
+        ``{prefix}.{member}``; with ``label_key`` the member lands in a
+        Prometheus label instead of the metric name.
+        """
+        self._multi.append((prefix, fn))
+        self._multi_label_keys[prefix] = label_key
+
+    def mark(self, channel: str, label: str, t: Optional[float] = None) -> None:
+        """Record an exact-time event marker (e.g. a band switch)."""
+        m = self.markers.get(channel)
+        if m is None:
+            m = self.markers[channel] = MarkerSeries(channel)
+        if t is None:
+            t = self.sim.now if self.sim is not None else 0.0
+        m.add(t, label)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, sim, device) -> None:
+        """Bind to a simulator + device and register the standard vocabulary."""
+        self.sim = sim
+        self.device = device
+        bind_standard_metrics(self, device)
+
+    def start(self) -> None:
+        """Begin periodic sampling (daemon events on the bound simulator)."""
+        if self.sim is None:
+            raise RuntimeError("attach(sim, device) before start()")
+        if self._periodic is not None:
+            return
+        self._periodic = self.sim.every(self.interval, self.sample_now)
+
+    def stop(self) -> None:
+        if self._periodic is not None:
+            self._periodic.cancel()
+            self._periodic = None
+
+    @property
+    def running(self) -> bool:
+        return self._periodic is not None
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sample_now(self) -> None:
+        """Scrape every collector once at the current simulation time."""
+        t = self.sim.now if self.sim is not None else 0.0
+        for name, fn in self._collectors:
+            v = fn()
+            if v is None:
+                continue
+            self.series[name].append(t, float(v))
+        for prefix, fn in self._multi:
+            label_key = self._multi_label_keys.get(prefix)
+            for member, v in fn().items():
+                name = f"{prefix}.{member}"
+                labels = {label_key: member} if label_key else None
+                self.series_for(
+                    name, metric=prefix, labels=labels
+                ).append(t, float(v))
+        self.ticks += 1
+
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(self.series)
+
+    def n_series(self) -> int:
+        return len(self.series)
+
+
+# ----------------------------------------------------------------------
+# the standard metric vocabulary
+# ----------------------------------------------------------------------
+def bind_standard_metrics(sampler: TimeSeriesSampler, device) -> None:
+    """Register the fixed scrape vocabulary for one EDC device stack.
+
+    Series registered (≥ 10 on an EDC device): calculated/raw IOPS,
+    active intensity band, per-codec write shares, compression ratio,
+    per-class slot occupancy, CPU/flash queue depths, GC collections and
+    moved bytes, write amplification and the flash busy fraction.
+    """
+    sim = device.sim
+    monitor = device.monitor
+    policy = device.policy
+    backend = device.backend
+
+    sampler.register(
+        "monitor.calculated_iops",
+        lambda: monitor.calculated_iops(sim.now),
+    )
+    sampler.register("monitor.raw_iops", lambda: monitor.raw_iops(sim.now))
+
+    if hasattr(policy, "band_index"):
+        sampler.register(
+            "policy.band",
+            lambda: float(policy.band_index(monitor.calculated_iops(sim.now))),
+        )
+    # Exact band-switch markers via the selection hook (chained: the
+    # PR-1 Telemetry may already be subscribed).
+    if hasattr(policy, "on_select"):
+        prev_hook = policy.on_select
+        state = {"band": None}
+
+        def _on_select(band_idx: int, iops: float) -> None:
+            if prev_hook is not None:
+                prev_hook(band_idx, iops)
+            last = state["band"]
+            if last is not None and band_idx != last:
+                sampler.mark("band_switch", f"{last}->{band_idx}", t=sim.now)
+            state["band"] = band_idx
+
+        policy.on_select = _on_select
+
+    sampler.register_multi(
+        "codec.write_share", device.stats.codec_shares, label_key="codec"
+    )
+    sampler.register(
+        "compression.ratio", lambda: device.stats.compression_ratio
+    )
+
+    def _occupancy() -> Dict[str, float]:
+        return {
+            f"{int(round(frac * 100))}pct": share
+            for frac, share in device.allocator.occupancy().items()
+        }
+
+    sampler.register_multi("alloc.slot_share", _occupancy, label_key="cls")
+    sampler.register(
+        "alloc.live_slots", lambda: float(device.allocator.live_slots)
+    )
+
+    sampler.register("queue.depth.cpu", lambda: float(device.cpu.depth))
+
+    flash_queues = _flash_servers(backend)
+    if flash_queues:
+        sampler.register(
+            "queue.depth.flash",
+            lambda: float(sum(q.depth for q in flash_queues)),
+        )
+
+    ftls = _ftls(backend)
+    if ftls:
+        sampler.register(
+            "gc.collections",
+            lambda: float(sum(f.stats.gc_runs for f in ftls)),
+        )
+        sampler.register(
+            "gc.moved_bytes",
+            lambda: float(sum(f.stats.relocated_bytes for f in ftls)),
+        )
+
+        def _wa() -> float:
+            host = sum(f.stats.host_bytes for f in ftls)
+            moved = sum(f.stats.relocated_bytes for f in ftls)
+            return (host + moved) / host if host else 1.0
+
+        sampler.register("flash.write_amplification", _wa)
+
+    if flash_queues:
+        busy_state = {"t": sim.now,
+                      "busy": sum(q.stats.busy_time for q in flash_queues)}
+
+        def _busy_fraction() -> Optional[float]:
+            now = sim.now
+            busy = sum(q.stats.busy_time for q in flash_queues)
+            dt = now - busy_state["t"]
+            db = busy - busy_state["busy"]
+            busy_state["t"] = now
+            busy_state["busy"] = busy
+            if dt <= 0:
+                return None
+            return min(1.0, db / (dt * len(flash_queues)))
+
+        sampler.register("flash.busy_fraction", _busy_fraction)
+
+
+def _flash_servers(backend) -> List[object]:
+    """All queue servers below ``backend`` (RAID members recursed)."""
+    out: List[object] = []
+    queue = getattr(backend, "queue", None)
+    if queue is not None:
+        out.append(queue)
+    for dev in getattr(backend, "devices", ()) or ():
+        out.extend(_flash_servers(dev))
+    return out
+
+
+def _ftls(backend) -> List[object]:
+    out: List[object] = []
+    ftl = getattr(backend, "ftl", None)
+    if ftl is not None:
+        out.append(ftl)
+    for dev in getattr(backend, "devices", ()) or ():
+        out.extend(_ftls(dev))
+    return out
+
+
+# ----------------------------------------------------------------------
+# JSONL sink
+# ----------------------------------------------------------------------
+def dump_timeseries_jsonl(sampler: TimeSeriesSampler, fp: TextIO) -> int:
+    """Write every series (one JSON object per line) plus marker lines.
+
+    Line shapes::
+
+        {"series": name, "metric": ..., "labels": {...},
+         "t": [...], "v": [...], "dropped": n}
+        {"markers": channel, "events": [[t, label], ...], "dropped": n}
+
+    Returns the number of lines written.
+    """
+    n = 0
+    for name in sorted(sampler.series):
+        s = sampler.series[name]
+        ts, vs = s.points()
+        fp.write(json.dumps({
+            "series": name,
+            "metric": s.metric,
+            "labels": s.labels,
+            "t": ts,
+            "v": vs,
+            "dropped": s.dropped,
+        }, sort_keys=True))
+        fp.write("\n")
+        n += 1
+    for channel in sorted(sampler.markers):
+        m = sampler.markers[channel]
+        fp.write(json.dumps({
+            "markers": channel,
+            "events": [[t, label] for t, label in m.events()],
+            "dropped": m.dropped,
+        }, sort_keys=True))
+        fp.write("\n")
+        n += 1
+    return n

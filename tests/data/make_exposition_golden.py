@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Regenerate exposition_golden.txt from the fixture in test_exposition.
+
+Run from the repo root after an intentional format change:
+
+    PYTHONPATH=src:tests python tests/data/make_exposition_golden.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from test_exposition import GOLDEN, build_fixture  # noqa: E402
+
+from repro.telemetry import render_exposition  # noqa: E402
+
+
+def main() -> None:
+    metrics, sampler = build_fixture()
+    text = render_exposition(metrics=metrics, sampler=sampler)
+    with open(GOLDEN, "w", encoding="utf-8") as fp:
+        fp.write(text)
+    print(f"wrote {len(text.splitlines())} lines to {GOLDEN}")
+
+
+if __name__ == "__main__":
+    main()

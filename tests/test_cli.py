@@ -32,3 +32,25 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Fig 12" in out
         assert "gzip share" in out
+
+    def test_metrics_flag_renders_dashboard(self, capsys, tmp_path):
+        series = tmp_path / "ts.jsonl"
+        prom = tmp_path / "m.prom"
+        assert main(["breakdown", "--metrics", "--duration", "4",
+                     "--series-dump", str(series),
+                     "--prom-dump", str(prom)]) == 0
+        out = capsys.readouterr().out
+        assert "time-series dashboard" in out
+        assert "policy.band" in out
+        assert "markers[band_switch]" in out
+        assert series.read_text().strip()
+        assert prom.read_text().startswith("# HELP")
+
+    def test_telemetry_and_metrics_compose(self, capsys):
+        # one shared replay produces both reports
+        assert main(["breakdown", "--telemetry", "--metrics",
+                     "--duration", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry+metrics" in out
+        assert "Per-layer latency breakdown" in out
+        assert "time-series dashboard" in out

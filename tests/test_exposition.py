@@ -1,0 +1,126 @@
+"""Tests for the Prometheus-style text exposition (render + parse).
+
+The golden-file test pins the exact rendered output of a hand-built
+registry + sampler, so any formatting drift is a conscious change
+(regenerate with ``python tests/data/make_exposition_golden.py``).
+"""
+
+import os
+
+import pytest
+
+from repro.telemetry import (
+    ExpositionError,
+    MetricsRegistry,
+    TimeSeriesSampler,
+    parse_exposition,
+    render_exposition,
+)
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "data",
+                      "exposition_golden.txt")
+
+
+def build_fixture():
+    """The deterministic registry + sampler behind the golden file."""
+    metrics = MetricsRegistry()
+    metrics.counter("requests").inc(42)
+    metrics.gauge("utilization").set(0.375)
+    h = metrics.histogram("latency_s")
+    for v in (0.001, 0.002, 0.004, 0.25):
+        h.add(v)
+    sampler = TimeSeriesSampler(interval=0.5)
+    s = sampler.series_for("compression.ratio", metric="compression.ratio")
+    s.append(1.0, 1.25)
+    s.append(1.5, 1.5)
+    for codec, share in (("lzf", 0.75), ("gzip", 0.25)):
+        cs = sampler.series_for(
+            f"codec.write_share.{codec}",
+            metric="codec.write_share", labels={"codec": codec},
+        )
+        cs.append(1.5, share)
+    sampler.mark("band_switch", "0->1", t=0.75)
+    return metrics, sampler
+
+
+class TestRender:
+    def test_counter_and_gauge_families(self):
+        metrics, _ = build_fixture()
+        text = render_exposition(metrics=metrics)
+        assert "# TYPE edc_requests_total counter" in text
+        assert "edc_requests_total 42.0" in text
+        assert "# TYPE edc_utilization gauge" in text
+        assert "edc_utilization 0.375" in text
+
+    def test_histogram_is_cumulative(self):
+        metrics, _ = build_fixture()
+        text = render_exposition(metrics=metrics)
+        lines = [l for l in text.splitlines()
+                 if l.startswith("edc_latency_s")]
+        buckets = [l for l in lines if "_bucket" in l]
+        counts = [float(l.rsplit(" ", 1)[1]) for l in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert buckets[-1].startswith('edc_latency_s_bucket{le="+Inf"}')
+        assert counts[-1] == 4.0
+        assert "edc_latency_s_count 4.0" in text
+        assert any(l.startswith("edc_latency_s_sum") for l in lines)
+
+    def test_sampler_series_become_labelled_gauges(self):
+        _, sampler = build_fixture()
+        text = render_exposition(sampler=sampler)
+        assert "edc_ts_compression_ratio 1.5" in text
+        assert 'edc_ts_codec_write_share{codec="lzf"} 0.75' in text
+        assert 'edc_ts_codec_write_share{codec="gzip"} 0.25' in text
+        assert "edc_marker_band_switch_total 1.0" in text
+
+    def test_no_duplicate_samples(self):
+        metrics, sampler = build_fixture()
+        text = render_exposition(metrics=metrics, sampler=sampler)
+        seen = set()
+        for line in text.splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            key = line.rsplit(" ", 1)[0]
+            assert key not in seen, f"duplicate sample {key!r}"
+            seen.add(key)
+
+
+class TestRoundTrip:
+    def test_render_parse_round_trip(self):
+        metrics, sampler = build_fixture()
+        text = render_exposition(metrics=metrics, sampler=sampler)
+        samples = parse_exposition(text)
+        assert samples[("edc_requests_total", ())] == 42.0
+        assert samples[("edc_utilization", ())] == 0.375
+        assert samples[
+            ("edc_ts_codec_write_share", (("codec", "lzf"),))
+        ] == 0.75
+        # every non-comment line parsed into exactly one sample
+        n_lines = sum(
+            1 for l in text.splitlines() if l.strip() and not l.startswith("#")
+        )
+        assert len(samples) == n_lines
+
+    def test_parse_rejects_malformed_line(self):
+        with pytest.raises(ExpositionError):
+            parse_exposition("this is not a metric line\n")
+
+    def test_parse_rejects_bad_value(self):
+        with pytest.raises(ExpositionError):
+            parse_exposition("edc_x pancake\n")
+
+    def test_parse_rejects_duplicates(self):
+        with pytest.raises(ExpositionError):
+            parse_exposition("edc_x 1.0\nedc_x 2.0\n")
+
+    def test_parse_skips_comments_and_blanks(self):
+        samples = parse_exposition("# HELP edc_x y\n\nedc_x 1.0\n")
+        assert samples == {("edc_x", ()): 1.0}
+
+
+class TestGoldenFile:
+    def test_matches_committed_golden(self):
+        metrics, sampler = build_fixture()
+        text = render_exposition(metrics=metrics, sampler=sampler)
+        with open(GOLDEN, "r", encoding="utf-8") as fp:
+            assert text == fp.read()

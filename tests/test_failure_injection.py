@@ -101,10 +101,13 @@ class TestApiMisuse:
         with pytest.raises(SimulationError):
             sim.schedule_at(0.5, lambda: None)
 
-    def test_monitor_rejects_time_travel(self):
+    def test_monitor_clamps_time_travel(self):
+        # Slightly-stale timestamps (completion callbacks observing a
+        # clock behind the last arrival) are clamped to the watermark
+        # rather than rejected; the sample still counts.
         from repro.core.monitor import WorkloadMonitor
 
-        m = WorkloadMonitor()
+        m = WorkloadMonitor(window=10.0)
         m.record(1.0, "W", 4096)
-        with pytest.raises(ValueError):
-            m.record(0.5, "W", 4096)
+        m.record(0.5, "W", 4096)
+        assert m.raw_iops(1.0) == pytest.approx(2 / 10.0)

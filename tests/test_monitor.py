@@ -81,3 +81,43 @@ class TestSnapshot:
     def test_validation(self):
         with pytest.raises(ValueError):
             WorkloadMonitor(page_size=0)
+
+
+class TestClampAndReset:
+    def test_stale_timestamp_clamped_to_watermark(self):
+        # Completion callbacks can observe a clock slightly behind the
+        # last arrival; the sample is clamped forward, not rejected.
+        m = WorkloadMonitor(window=10.0)
+        m.record(1.0, "W", 4096)
+        m.record(0.5, "R", 4096)
+        assert m.raw_iops(1.0) == pytest.approx(2 / 10.0)
+        s = m.snapshot(1.0)
+        assert s.read_fraction == pytest.approx(0.5)
+
+    def test_stale_query_time_clamped(self):
+        m = WorkloadMonitor(window=1.0)
+        m.record(2.0, "W", 4096)
+        # querying at a time before the watermark acts like "now"
+        assert m.calculated_iops(1.0) == m.calculated_iops(2.0)
+
+    def test_reset_returns_to_fresh_state(self):
+        m = WorkloadMonitor(window=1.0)
+        m.record(5.0, "W", 8192)
+        m.record(5.5, "R", 4096)
+        m.reset()
+        assert m.raw_iops(6.0) == 0.0
+        assert m.total_requests == 0
+        assert m.total_pages == 0
+        # the watermark is cleared too: early timestamps valid again
+        m.record(0.1, "W", 4096)
+        assert m.raw_iops(0.1) == pytest.approx(1.0)
+
+    def test_expiry_is_single_pass(self):
+        # many records, then one query far in the future: the window is
+        # drained incrementally and sums return to exact zero
+        m = WorkloadMonitor(window=1.0)
+        for i in range(1000):
+            m.record(i * 0.001, "W", 4096)
+        assert m.calculated_iops(100.0) == 0.0
+        assert m.raw_iops(100.0) == 0.0
+        assert m.total_requests == 1000

@@ -141,3 +141,71 @@ class TestAccounting:
         sim.schedule(2.0, lambda: fired.append(2))
         assert sim.step() is True
         assert fired == [1]
+
+
+class TestDaemonEvents:
+    def test_daemon_does_not_keep_run_alive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("fg"))
+        sim.schedule(0.5, lambda: fired.append("daemon"), daemon=True)
+        sim.schedule(2.0, lambda: fired.append("late-daemon"), daemon=True)
+        sim.run()
+        # the daemon before the last foreground event fires; the one
+        # after it does not (nothing foreground left to serve)
+        assert fired == ["daemon", "fg"]
+        assert sim.now == 1.0
+
+    def test_daemon_only_heap_runs_nothing(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None, daemon=True)
+        sim.run()
+        assert sim.now == 0.0
+        assert sim.dispatched == 0
+
+    def test_run_until_still_fires_daemons(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1), daemon=True)
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+
+    def test_pending_foreground_excludes_daemons(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(1.0, lambda: None, daemon=True)
+        assert sim.pending_foreground == 1
+
+    def test_cancelled_foreground_releases_run(self):
+        sim = Simulator()
+        h = sim.schedule(5.0, lambda: None)
+        sim.schedule(1.0, lambda: None, daemon=True)
+        sim.cancel(h)
+        sim.run()  # nothing foreground left: returns immediately
+        assert sim.now == 0.0
+
+
+class TestPeriodicEvent:
+    def test_every_fires_between_foreground_work(self):
+        sim = Simulator()
+        ticks = []
+        ev = sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.schedule(3.5, lambda: None)
+        sim.run()
+        assert ticks == [1.0, 2.0, 3.0]
+        assert ev.fired == 3
+
+    def test_cancel_stops_rescheduling(self):
+        sim = Simulator()
+        ticks = []
+        ev = sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.schedule(1.5, ev.cancel)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert ticks == [1.0]
+        assert ev.cancelled
+
+    def test_invalid_interval(self):
+        with pytest.raises(SimulationError):
+            Simulator().every(0.0, lambda: None)

@@ -150,3 +150,56 @@ class TestWindowRate:
         w.record(0.5, 3.0)
         assert w.total_in_window(0.5) == pytest.approx(5.0)
         assert w.total_in_window(1.2) == pytest.approx(3.0)
+
+
+class TestApproxPercentiles:
+    def test_small_n_is_exact(self):
+        r = LatencyRecorder(approx_threshold=100)
+        samples = np.arange(1, 101) / 1000.0
+        for v in samples:
+            r.add(float(v))
+        assert not r.uses_approx
+        assert r.percentile(50) == pytest.approx(
+            float(np.percentile(samples, 50)), rel=0, abs=0
+        )
+
+    def test_large_n_routes_through_histogram(self):
+        r = LatencyRecorder(approx_threshold=64)
+        rng = np.random.default_rng(1)
+        samples = rng.lognormal(mean=-7.0, sigma=1.0, size=2000)
+        for v in samples:
+            r.add(float(v))
+        assert r.uses_approx
+        exact = float(np.percentile(samples, 95))
+        # log2 x 32 sub-buckets: relative quantile error <= 1/32
+        assert r.percentile(95) == pytest.approx(exact, rel=0.05)
+
+    def test_mean_stays_exact_above_threshold(self):
+        r = LatencyRecorder(approx_threshold=10)
+        samples = [0.001 * (i + 1) for i in range(50)]
+        for v in samples:
+            r.add(v)
+        assert r.uses_approx
+        assert r.mean() == pytest.approx(sum(samples) / len(samples))
+        assert r.total() == pytest.approx(sum(samples))
+
+    def test_threshold_none_always_exact(self):
+        r = LatencyRecorder(approx_threshold=None)
+        for v in range(1, 10001):
+            r.add(v / 1e6)
+        assert not r.uses_approx
+
+    def test_merge_merges_histograms(self):
+        a = LatencyRecorder(approx_threshold=10)
+        b = LatencyRecorder(approx_threshold=10)
+        for v in range(1, 21):
+            a.add(v / 1000.0)
+            b.add(v / 100.0)
+        a.merge(b)
+        assert a.count == 40
+        assert a.uses_approx
+        assert a.max() == pytest.approx(0.2, rel=0.05)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder(approx_threshold=0)

@@ -349,3 +349,49 @@ class TestExporters:
         assert "write path" in summary and "flame" in summary
         flame = ascii_flamegraph(telemetry.tracer)
         assert "write" in flame
+
+
+class TestExporterEdgeCases:
+    def test_dump_jsonl_empty_tracer(self):
+        sim = Simulator()
+        tracer = Tracer(lambda: sim.now)
+        fp = io.StringIO()
+        assert dump_jsonl(tracer, fp) == 0
+        assert fp.getvalue() == ""
+
+    def test_flamegraph_no_spans(self):
+        sim = Simulator()
+        tracer = Tracer(lambda: sim.now)
+        assert ascii_flamegraph(tracer) == "(no spans recorded)"
+
+    def test_flamegraph_single_span(self):
+        sim = Simulator()
+        tracer = Tracer(lambda: sim.now)
+        span = tracer.start("write", layer="request")
+        sim.schedule(2.0, lambda: tracer.finish(span))
+        sim.run()
+        flame = ascii_flamegraph(tracer)
+        lines = flame.splitlines()
+        assert len(lines) == 2  # header + the one path
+        assert "total 2000.000 ms" in lines[0]
+        assert lines[1].lstrip().startswith("write")
+        assert "n=1" in lines[1]
+
+    def test_breakdown_table_zero_requests(self):
+        # A telemetry object that never saw a request must still render
+        # without dividing by zero.
+        telemetry = Telemetry(Simulator())
+        rows = layer_breakdown_rows(telemetry)
+        for path in ("write", "read"):
+            for _layer, total, share, mean_us in rows[path]:
+                assert total == 0.0
+                assert share == 0.0
+                assert mean_us == 0.0
+        table = render_layer_breakdown(telemetry)
+        assert "(0 requests)" in table
+
+    def test_summary_zero_requests(self):
+        telemetry = Telemetry(Simulator())
+        summary = render_telemetry_summary(telemetry)
+        assert "write path" in summary
+        assert "(no spans recorded)" in summary
