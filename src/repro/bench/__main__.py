@@ -10,6 +10,7 @@ Usage::
     python -m repro.bench --telemetry --metrics   # one replay, both reports
     python -m repro.bench breakdown --trace-dump spans.jsonl
     python -m repro.bench --metrics --series-dump ts.jsonl --prom-dump metrics.prom
+    python -m repro.bench --chaos benchmarks/chaos_fin1.json   # fault-injected replay
 
 Exhibit names: fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12
 breakdown.  ``fig8``-``fig10`` share one single-SSD replay matrix;
@@ -114,6 +115,38 @@ def _run_breakdown(
             fp.close()
 
 
+def _run_chaos(
+    plan_path: str,
+    trace_name: str,
+    duration: float,
+    backend: str,
+    prom_dump: str | None = None,
+    interval: float = 0.25,
+) -> int:
+    """Replay one trace under a fault plan; non-zero exit on data loss."""
+    from repro.bench.chaos import run_chaos
+    from repro.faults import FaultPlan
+    from repro.telemetry import TimeSeriesSampler, render_exposition
+
+    plan = FaultPlan.from_json(plan_path)
+    sampler = TimeSeriesSampler(interval=interval)
+    print(f"chaos: replaying {trace_name} under {plan_path} "
+          f"({backend}, duration {duration:.0f}s)...")
+    report = run_chaos(
+        plan, trace_name=trace_name, backend=backend, duration=duration,
+        sampler=sampler,
+    )
+    print()
+    print(report.render())
+    if prom_dump:
+        text = render_exposition(sampler=sampler)
+        with open(prom_dump, "w", encoding="utf-8") as fp:
+            fp.write(text)
+        print(f"\nwrote {len(text.splitlines())} exposition lines "
+              f"to {prom_dump}")
+    return 0 if report.ok else 1
+
+
 def _print_matrix(matrix, metric: str, title: str) -> None:
     norm = matrix.normalized(metric)
     traces = list(norm)
@@ -158,7 +191,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sample-interval", type=float, default=0.25,
                         help="sampler tick in virtual seconds "
                              "(default 0.25)")
+    parser.add_argument("--chaos", metavar="PLAN.json", default=None,
+                        help="replay one trace under the JSON fault plan "
+                             "and report recovered vs lost requests; "
+                             "exits 1 on any unrecovered data loss")
+    parser.add_argument("--chaos-trace", default="Fin1",
+                        help="trace for --chaos (default Fin1)")
+    parser.add_argument("--chaos-backend", default="rais5",
+                        choices=("ssd", "rais5"),
+                        help="backend for --chaos (default rais5)")
     args = parser.parse_args(argv)
+    if args.chaos:
+        try:
+            return _run_chaos(
+                args.chaos, args.chaos_trace, args.duration,
+                args.chaos_backend, prom_dump=args.prom_dump,
+                interval=args.sample_interval,
+            )
+        except (OSError, ValueError) as exc:
+            parser.error(f"--chaos {args.chaos}: {exc}")
     instrumented = args.telemetry or args.metrics or bool(args.prom_dump)
     wanted = tuple(args.exhibits) or (ALL[:-1] if not instrumented else ALL)
     if instrumented and "breakdown" not in wanted:

@@ -126,6 +126,8 @@ def replay(
     cost_model: Optional[CodecCostModel] = None,
     telemetry=None,
     sampler=None,
+    fault_plan=None,
+    on_built=None,
 ) -> ExperimentResult:
     """Replay ``trace`` under ``scheme`` and collect the result record.
 
@@ -141,6 +143,14 @@ def replay(
     started before the first request, so after the call its ring series
     hold the replay's time-resolved view.  Telemetry and sampler
     compose — one replay feeds both.
+
+    ``fault_plan`` optionally attaches a
+    :class:`~repro.faults.FaultPlan` to the built backend (per-device
+    injectors, scheduled failures, auto-rebuild wiring) and routes each
+    device's bad-block retirements into the allocator's capacity
+    accounting.  ``on_built`` is called with ``(sim, device, backend,
+    devices)`` after construction but before the replay starts — the
+    hook the chaos harness uses to install its own observers.
     """
     cfg = cfg if cfg is not None else ReplayConfig()
     sim = Simulator()
@@ -157,14 +167,24 @@ def replay(
         pool_blocks=cfg.pool_blocks,
         seed=cfg.content_seed,
     )
+    if fault_plan is not None:
+        fault_plan.attach(sim, backend, devices)
     device = build_device(
         sim, scheme, backend, content,
         config=cfg.device_config, bands=bands, cost_model=cost_model,
         telemetry=telemetry,
     )
+    if fault_plan is not None:
+        for ssd in devices if devices is not None else [backend]:
+            ssd.ftl.on_retire = (
+                lambda block_id, moved, _bb=ssd.geometry.block_bytes:
+                device.allocator.note_retired(_bb)
+            )
     if sampler is not None:
         sampler.attach(sim, device)
         sampler.start()
+    if on_built is not None:
+        on_built(sim, device, backend, devices)
     TraceReplayer(sim, device).replay(folded)
 
     if devices is None:

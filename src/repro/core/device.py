@@ -24,7 +24,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
 
-from repro.compression.codec import CodecRegistry, default_registry
+from repro.compression.codec import CodecError, CodecRegistry, default_registry
 from repro.compression.costmodel import CodecCostModel
 from repro.core.config import EDCConfig
 from repro.core.engine import CompressionEngine, WritePlan
@@ -99,6 +99,11 @@ class EDCBlockDevice:
         self.stats = CompressionStats()
         self.write_latency = LatencyRecorder("write")
         self.read_latency = LatencyRecorder("read")
+        #: requests the backend reported as lost (e.g. a RAID double
+        #: fault); they still complete — with the loss counted — so a
+        #: replay drains instead of deadlocking on ``outstanding``
+        self.unrecovered_reads = 0
+        self.unrecovered_writes = 0
 
         #: per-block content version counters (bumped on every overwrite)
         self._versions: Dict[int, int] = defaultdict(int)
@@ -215,7 +220,13 @@ class EDCBlockDevice:
                 # The hint already settles compressibility: skip the
                 # sampled estimation and its CPU cost.
                 gate = False
-        plan = self.engine.plan_write(run_ids, codec_name, gate)
+        try:
+            plan = self.engine.plan_write(run_ids, codec_name, gate)
+        except CodecError:
+            # A codec failure mid-write must not lose the data: fall
+            # back to storing the run raw (no gate — raw always "fits").
+            self.stats.codec_fallbacks += 1
+            plan = self.engine.plan_write(run_ids, None, gate=False)
         if plan.gated:
             self.stats.skipped_incompressible += 1
         if plan.failed_75pct:
@@ -280,6 +291,10 @@ class EDCBlockDevice:
             if rec is not None:
                 self.telemetry.write_run_done(rec)
 
+        def _device_error(exc: BaseException) -> None:
+            self.unrecovered_writes += 1
+            _device_done()
+
         stream = 0
         if self.config.hot_cold_streams:
             bs = self.config.block_size
@@ -294,13 +309,15 @@ class EDCBlockDevice:
             self.telemetry.flash_issue_begin(rec, eid, write=True)
             try:
                 self.distributer.write(
-                    eid, run.start_lba, cls.nbytes, _device_done, stream=stream
+                    eid, run.start_lba, cls.nbytes, _device_done, stream=stream,
+                    on_error=_device_error,
                 )
             finally:
                 self.telemetry.flash_issue_end()
         else:
             self.distributer.write(
-                eid, run.start_lba, cls.nbytes, _device_done, stream=stream
+                eid, run.start_lba, cls.nbytes, _device_done, stream=stream,
+                on_error=_device_error,
             )
 
     # ------------------------------------------------------------------
@@ -369,11 +386,16 @@ class EDCBlockDevice:
         rrec: object = None,
     ) -> None:
         eid, lba, raw_len = piece
+
+        def _piece_error(exc: BaseException) -> None:
+            self.unrecovered_reads += 1
+            done()
+
         if eid is None:
             # Unmapped (never-written) range: raw-size device read.
             if rrec is not None:
                 self.telemetry.flash_issue_begin(rrec, lba, write=False)
-            self.distributer.read(None, lba, raw_len, done)
+            self.distributer.read(None, lba, raw_len, done, on_error=_piece_error)
             return
         entry = self.mapping.get(eid)
         if entry is None:  # pragma: no cover - defensive
@@ -402,7 +424,9 @@ class EDCBlockDevice:
 
         if rrec is not None:
             self.telemetry.flash_issue_begin(rrec, eid, write=False)
-        self.distributer.read(eid, entry.lba, stored, _after_device)
+        self.distributer.read(
+            eid, entry.lba, stored, _after_device, on_error=_piece_error
+        )
 
     def _verify_entry(
         self,
@@ -538,7 +562,13 @@ class EDCBlockDevice:
         def _done() -> None:
             self._outstanding -= 1
 
-        self.distributer.write(eid, run.start_lba, cls.nbytes, lambda: _done())
+        def _error(exc: BaseException) -> None:
+            self.unrecovered_writes += 1
+            _done()
+
+        self.distributer.write(
+            eid, run.start_lba, cls.nbytes, lambda: _done(), on_error=_error
+        )
 
     # ------------------------------------------------------------------
     # reporting

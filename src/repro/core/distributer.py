@@ -36,6 +36,10 @@ class RequestDistributer:
         self._supports_streams = (
             "stream" in inspect.signature(backend.submit_write).parameters
         )
+        self._supports_errors = (
+            "on_error" in inspect.signature(backend.submit_write).parameters
+            and "on_error" in inspect.signature(backend.submit_read).parameters
+        )
 
     def write(
         self,
@@ -44,22 +48,26 @@ class RequestDistributer:
         nbytes: int,
         on_complete: Optional[Callable[[], None]] = None,
         stream: int = 0,
+        on_error: Optional[Callable[[BaseException], None]] = None,
     ) -> None:
         """Issue a (possibly compressed) write of ``nbytes`` under ``key``.
 
         ``stream`` is forwarded to backends that support multi-stream
-        placement (hot/cold separation) and silently dropped otherwise.
+        placement (hot/cold separation) and silently dropped otherwise;
+        likewise ``on_error`` to backends that can report failures.
         """
         if nbytes <= 0:
             raise ValueError(f"write size must be positive: {nbytes!r}")
         self.stats.issued_writes += 1
         self.stats.written_bytes += nbytes
+        kwargs = {}
         if self._supports_streams and stream:
-            self.backend.submit_write(
-                lba, nbytes, on_complete=on_complete, key=key, stream=stream
-            )
-        else:
-            self.backend.submit_write(lba, nbytes, on_complete=on_complete, key=key)
+            kwargs["stream"] = stream
+        if self._supports_errors and on_error is not None:
+            kwargs["on_error"] = on_error
+        self.backend.submit_write(
+            lba, nbytes, on_complete=on_complete, key=key, **kwargs
+        )
 
     def read(
         self,
@@ -67,13 +75,19 @@ class RequestDistributer:
         lba: int,
         nbytes: int,
         on_complete: Optional[Callable[[], None]] = None,
+        on_error: Optional[Callable[[BaseException], None]] = None,
     ) -> None:
         """Fetch ``nbytes`` of stored data for ``key``."""
         if nbytes <= 0:
             raise ValueError(f"read size must be positive: {nbytes!r}")
         self.stats.issued_reads += 1
         self.stats.read_bytes += nbytes
-        self.backend.submit_read(lba, nbytes, on_complete=on_complete, key=key)
+        if self._supports_errors and on_error is not None:
+            self.backend.submit_read(
+                lba, nbytes, on_complete=on_complete, key=key, on_error=on_error
+            )
+        else:
+            self.backend.submit_read(lba, nbytes, on_complete=on_complete, key=key)
 
     def trim(self, key: Hashable) -> bool:
         """Invalidate the backend extent of an evicted mapping entry."""

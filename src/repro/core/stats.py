@@ -28,6 +28,8 @@ class CompressionStats:
     skipped_incompressible: int = 0
     #: stored-raw because compressed size exceeded the 75 % threshold
     failed_75pct: int = 0
+    #: stored-raw because the selected codec raised mid-write
+    codec_fallbacks: int = 0
     merged_runs: int = 0
     per_codec_writes: Dict[str, int] = field(default_factory=dict)
     per_codec_logical_bytes: Dict[str, int] = field(default_factory=dict)

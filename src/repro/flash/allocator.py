@@ -40,6 +40,11 @@ class AllocatorStats:
     recycled: int = 0
     #: sum of (slot size - payload size) over live slots
     internal_fragmentation: int = 0
+    #: physical bytes lost to retired (bad) flash blocks below; reported
+    #: by the device's bad-block handling via :meth:`SizeClassAllocator.note_retired`
+    retired_bytes: int = 0
+    #: number of retirement notifications received
+    retirements: int = 0
 
 
 class SizeClassAllocator:
@@ -170,6 +175,25 @@ class SizeClassAllocator:
     def lookup(self, key: Hashable) -> Optional[Tuple[SlotClass, int]]:
         """Live ``(class, stored_payload_size)`` for ``key``, if any."""
         return self._live.get(key)
+
+    # ------------------------------------------------------------------
+    def note_retired(self, nbytes: int) -> None:
+        """Record ``nbytes`` of physical capacity lost to a bad block.
+
+        Wired to the FTL's bad-block retirement hook so the space
+        accounting the capacity planner reads (see
+        :attr:`effective_physical_bytes`) shrinks with the device.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative retired size: {nbytes!r}")
+        self.stats.retired_bytes += nbytes
+        self.stats.retirements += 1
+
+    @property
+    def effective_physical_bytes(self) -> int:
+        """Physical bytes claimed plus capacity lost to retired blocks —
+        what the stored data actually costs on a degrading device."""
+        return self._physical_bytes + self.stats.retired_bytes
 
     # ------------------------------------------------------------------
     @property

@@ -75,6 +75,8 @@ class _FtlStats:
     trims: int = 0
     gc_runs: int = 0
     relocated_bytes: int = field(default=0)
+    #: blocks permanently removed from service after program failures
+    retired_blocks: int = 0
 
     def write_amplification(self) -> float:
         if self.host_bytes == 0:
@@ -126,6 +128,10 @@ class ExtentFTL:
         #: optional telemetry hook, called after each collection with
         #: ``(victim_block, moved_bytes, reclaimed_bytes)``
         self.on_gc: Optional[Callable[[int, int, int], None]] = None
+        #: optional hook, called after a bad-block retirement with
+        #: ``(block_id, relocated_bytes)`` — the allocator/telemetry
+        #: side of free-space accounting subscribes here
+        self.on_retire: Optional[Callable[[int, int], None]] = None
 
         nb = geometry.nblocks
         self._extents: Dict[Hashable, list[_Extent]] = {}
@@ -137,6 +143,7 @@ class ExtentFTL:
         self._active[_GC_STREAM] = -1
         self._fill: Dict[int, int] = {s: 0 for s in self._active}
         self._sealed: set[int] = set()
+        self._retired: set[int] = set()
         self._live_bytes: int = 0
 
     # ------------------------------------------------------------------
@@ -147,9 +154,47 @@ class ExtentFTL:
         return len(self._free)
 
     @property
+    def retired_blocks(self) -> int:
+        """Blocks permanently out of service (bad-block retirement)."""
+        return len(self._retired)
+
+    @property
+    def effective_logical_bytes(self) -> int:
+        """Logical capacity after retired blocks are deducted.
+
+        Retirement shrinks the physical pool; the logical address space
+        must shrink with it or GC eventually livelocks trying to find
+        free space that no longer exists.
+        """
+        lost = len(self._retired) * self.geometry.block_bytes
+        return max(0, self.geometry.logical_bytes - lost)
+
+    @property
     def live_bytes(self) -> int:
         """Total valid (live) bytes currently mapped."""
         return self._live_bytes
+
+    def blocks_of(self, key: Hashable) -> list[int]:
+        """Erase blocks currently holding pieces of ``key`` (may repeat)."""
+        ext = self._extents.get(key)
+        if ext is None:
+            return []
+        return [e.block_id for e in ext]
+
+    def max_wear_of(self, key: Hashable) -> int:
+        """Highest erase count among the blocks holding ``key``.
+
+        The wear-coupled bit-error model multiplies this by a per-P/E
+        error rate: data sitting in a heavily cycled block is more
+        likely to need a read retry.
+        """
+        counts = self.collector.stats.erase_counts
+        if not counts:
+            return 0
+        blocks = self.blocks_of(key)
+        if not blocks:
+            return 0
+        return max(counts.get(b, 0) for b in blocks)
 
     def contains(self, key: Hashable) -> bool:
         return key in self._extents
@@ -184,10 +229,11 @@ class ExtentFTL:
         old = self._extents.pop(key, None)
         if old is not None:
             self._invalidate_extents(key, old)
-        if self._live_bytes + nbytes > self.geometry.logical_bytes:
+        if self._live_bytes + nbytes > self.effective_logical_bytes:
             raise DeviceFullError(
                 f"write of {nbytes} B would exceed logical capacity "
-                f"({self._live_bytes} B live of {self.geometry.logical_bytes} B)"
+                f"({self._live_bytes} B live of {self.effective_logical_bytes} B"
+                f" after {len(self._retired)} retired blocks)"
             )
         gc_cost = FlashCost()
         # Register the (initially empty) piece list up front: placement can
@@ -215,6 +261,52 @@ class ExtentFTL:
         self._invalidate_extents(key, ext)
         self.stats.trims += 1
         return True
+
+    # ------------------------------------------------------------------
+    # bad-block retirement
+    # ------------------------------------------------------------------
+    def retire_block(self, block_id: int) -> FlashCost:
+        """Permanently remove ``block_id`` from service (program failure).
+
+        Live pieces are relocated to the GC frontier first (the
+        remap-and-retire step), then the block leaves every pool — free
+        list, sealed set, active frontiers — for good.  The logical
+        capacity shrinks by one block (:attr:`effective_logical_bytes`)
+        so GC free-space accounting stays honest, and the collector's
+        wear statistics drop the block (a dead block no longer bounds
+        device lifetime).  Returns the relocation cost; retiring an
+        already-retired block is a no-op.
+        """
+        if not 0 <= block_id < self.geometry.nblocks:
+            raise ValueError(f"no block {block_id} on this device")
+        if block_id in self._retired:
+            return FlashCost()
+        # Detach the block from whatever role it currently plays.
+        for stream, active in list(self._active.items()):
+            if active == block_id:
+                self._active[stream] = -1
+                self._fill[stream] = 0
+        try:
+            self._free.remove(block_id)
+        except ValueError:
+            pass
+        self._sealed.discard(block_id)
+        # Evacuate live data (the freshly failed program included).
+        moved = 0
+        for (key, piece_idx), nbytes in dict(self._block_live[block_id]).items():
+            self._relocate(key, piece_idx, nbytes, block_id)
+            moved += nbytes
+        self._block_valid[block_id] = 0
+        self._block_live[block_id].clear()
+        self._retired.add(block_id)
+        self.stats.retired_blocks += 1
+        self.stats.relocated_bytes += moved
+        retire_note = getattr(self.collector.stats, "note_retirement", None)
+        if retire_note is not None:
+            retire_note(block_id)
+        if self.on_retire is not None:
+            self.on_retire(block_id, moved)
+        return FlashCost(moved_bytes=moved)
 
     # ------------------------------------------------------------------
     # internals
@@ -357,3 +449,14 @@ class ExtentFTL:
                 raise AssertionError(f"active block {b} is also sealed")
             if b in self._free:
                 raise AssertionError(f"active block {b} is also free")
+        for b in self._retired:
+            if self._block_valid[b]:
+                raise AssertionError(f"retired block {b} holds valid bytes")
+            if self._block_live[b]:
+                raise AssertionError(f"retired block {b} holds live pieces")
+            if b in self._free:
+                raise AssertionError(f"retired block {b} is also free")
+            if b in self._sealed:
+                raise AssertionError(f"retired block {b} is also sealed")
+            if b in actives:
+                raise AssertionError(f"retired block {b} is also active")

@@ -29,14 +29,26 @@ class GcStats:
     reclaimed_bytes: int = 0
     #: erase counts per block id, for wear levelling statistics
     erase_counts: dict[int, int] = field(default_factory=dict)
+    #: blocks removed from service, with the erase count they died at;
+    #: kept out of ``erase_counts`` so wear levelling and lifetime
+    #: projections only consider blocks still doing work
+    retired_counts: dict[int, int] = field(default_factory=dict)
 
     def note_erase(self, block_id: int) -> None:
         self.erases += 1
         self.erase_counts[block_id] = self.erase_counts.get(block_id, 0) + 1
 
+    def note_retirement(self, block_id: int) -> None:
+        """Move a bad block's wear history out of the active statistics."""
+        self.retired_counts[block_id] = self.erase_counts.pop(block_id, 0)
+
     @property
     def max_erase_count(self) -> int:
         return max(self.erase_counts.values(), default=0)
+
+    @property
+    def retired_blocks(self) -> int:
+        return len(self.retired_counts)
 
     def snapshot(self) -> dict[str, float]:
         """Flat scalar view for telemetry/metrics export."""
@@ -46,6 +58,7 @@ class GcStats:
             "moved_bytes": float(self.moved_bytes),
             "reclaimed_bytes": float(self.reclaimed_bytes),
             "max_erase_count": float(self.max_erase_count),
+            "retired_blocks": float(self.retired_blocks),
         }
 
 

@@ -21,6 +21,11 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Hashable, Optional, Protocol
 
+from repro.faults.plan import (
+    DeviceFailedError,
+    FaultInjector,
+    ReadFaultError,
+)
 from repro.flash.ftl import ExtentFTL, FlashCost
 from repro.flash.geometry import (
     NandGeometry,
@@ -35,7 +40,13 @@ __all__ = ["SimulatedSSD", "StorageBackend", "DeviceStats"]
 
 
 class StorageBackend(Protocol):
-    """What the EDC layer requires of the device below it."""
+    """What the EDC layer requires of the device below it.
+
+    ``on_error`` receives the exception when the request cannot be
+    completed (retry budget exhausted, device failed).  Backends that
+    cannot fail may ignore it; callers that pass ``None`` accept that an
+    unrecoverable fault raises out of the simulation loop instead.
+    """
 
     def submit_write(
         self,
@@ -43,6 +54,7 @@ class StorageBackend(Protocol):
         nbytes: int,
         on_complete: Optional[Callable[[], None]] = None,
         key: Optional[Hashable] = None,
+        on_error: Optional[Callable[[BaseException], None]] = None,
     ) -> None: ...
 
     def submit_read(
@@ -51,6 +63,7 @@ class StorageBackend(Protocol):
         nbytes: int,
         on_complete: Optional[Callable[[], None]] = None,
         key: Optional[Hashable] = None,
+        on_error: Optional[Callable[[BaseException], None]] = None,
     ) -> None: ...
 
     def trim(self, key: Hashable) -> bool: ...
@@ -91,6 +104,44 @@ class SimulatedSSD:
         #: ``(op, key, service_seconds, gc_stall_seconds)`` — the service
         #: value includes the stall, matching the queued job's service time
         self.probe: Optional[Callable[[str, Hashable, float, float], None]] = None
+        #: fault oracle installed by :meth:`repro.faults.FaultPlan.attach`;
+        #: ``None`` keeps the original no-fault fast path
+        self.injector: Optional[FaultInjector] = None
+        #: whole-device failure flag — set by :meth:`fail_now`, after which
+        #: every submission (and in-flight read completion) errors
+        self.failed = False
+
+    # ------------------------------------------------------------------
+    # fault machinery
+    # ------------------------------------------------------------------
+    def fail_now(self) -> None:
+        """Fail the whole device, effective immediately.
+
+        New submissions are rejected with :class:`DeviceFailedError` and
+        reads still in the queue fail on completion (their data is gone);
+        writes already accepted are considered programmed.  Idempotent.
+        """
+        if self.failed:
+            return
+        self.failed = True
+        if self.injector is not None:
+            self.injector.stats.device_failures += 1
+
+    def _report_error(
+        self,
+        exc: BaseException,
+        on_error: Optional[Callable[[BaseException], None]],
+    ) -> None:
+        """Deliver ``exc`` to ``on_error`` as a deferred event.
+
+        Deferral (not a synchronous callback) keeps error delivery from
+        re-entering a caller that is still planning a compound request —
+        e.g. RAIS5 mid-way through issuing a stripe.  Without a handler
+        the fault is unhandled by design and raises out of the event loop.
+        """
+        if on_error is None:
+            raise exc
+        self.sim.defer(lambda: on_error(exc))
 
     # ------------------------------------------------------------------
     # pure timing helpers (used directly by the Fig 1 microbenchmark)
@@ -127,14 +178,24 @@ class SimulatedSSD:
         on_complete: Optional[Callable[[], None]] = None,
         key: Optional[Hashable] = None,
         stream: int = 0,
+        on_error: Optional[Callable[[BaseException], None]] = None,
     ) -> None:
         """Queue a write of ``nbytes`` stored under ``key`` (default: ``lba``).
 
         ``stream`` selects the FTL write frontier when the device was
-        built with ``n_streams > 1`` (hot/cold separation).
+        built with ``n_streams > 1`` (hot/cold separation).  An injected
+        program failure is absorbed here: the bad block is retired, its
+        live data relocated, and the reprogram + relocation time charged
+        to this request — the caller only sees extra latency.
         """
         if key is None:
             key = lba
+        if self.failed:
+            self._report_error(
+                DeviceFailedError(f"{self.name}: write {key!r} to failed device"),
+                on_error,
+            )
+            return
         cost = self.ftl.write(key, nbytes, stream=stream)
         service = self.service_write_time(nbytes)
         stall = 0.0
@@ -142,6 +203,11 @@ class SimulatedSSD:
             stall = self.gc_time(cost)
             service += stall
             self.stats.gc_stall_time += stall
+        inj = self.injector
+        if inj is not None:
+            service += inj.latency_spike()
+            if inj.roll_program_fault():
+                service += self._absorb_program_fault(key, nbytes)
         self.stats.writes += 1
         self.stats.bytes_written += nbytes
         if self.probe is not None:
@@ -152,28 +218,119 @@ class SimulatedSSD:
             tag=("W", key),
         )
 
+    def _absorb_program_fault(self, key: Hashable, nbytes: int) -> float:
+        """Remap-and-retire after a program failure; returns extra seconds.
+
+        The block that just took the program is retired (its live
+        extents, including this write, relocate to a fresh block) and the
+        data is reprogrammed — one extra page-program pass plus the
+        relocation/erase-free retirement cost.  Host bytes are *not*
+        charged again: the FTL already accounted this write once.
+        """
+        inj = self.injector
+        blocks = self.ftl.blocks_of(key)
+        if not blocks:  # extent vanished (e.g. zero-byte write): nothing to retire
+            return 0.0
+        rcost = self.ftl.retire_block(blocks[-1])
+        if inj is not None:
+            inj.stats.blocks_retired += 1
+        return self.service_write_time(nbytes) + self.gc_time(rcost)
+
     def submit_read(
         self,
         lba: int,
         nbytes: int,
         on_complete: Optional[Callable[[], None]] = None,
         key: Optional[Hashable] = None,
+        on_error: Optional[Callable[[BaseException], None]] = None,
     ) -> None:
         """Queue a read of ``nbytes``.
 
         Reads of never-written keys are permitted (a real device returns
-        zero-filled sectors); only the transfer is modelled.
+        zero-filled sectors); only the transfer is modelled.  With a
+        fault injector attached, a transient read fault triggers bounded
+        exponential-backoff retries; only an exhausted retry budget (or a
+        failed device) reaches ``on_error``.
         """
         self.stats.reads += 1
         self.stats.bytes_read += nbytes
+        k = key if key is not None else lba
+        service = self.service_read_time(nbytes)
         if self.probe is not None:
-            self.probe("read", key if key is not None else lba,
-                       self.service_read_time(nbytes), 0.0)
-        self.queue.submit(
-            self.service_read_time(nbytes),
-            on_complete=(None if on_complete is None else (lambda job: on_complete())),
-            tag=("R", key if key is not None else lba),
-        )
+            self.probe("read", k, service, 0.0)
+        if self.failed:
+            self._report_error(
+                DeviceFailedError(f"{self.name}: read {k!r} from failed device"),
+                on_error,
+            )
+            return
+        if self.injector is None:
+            self.queue.submit(
+                service,
+                on_complete=(
+                    None if on_complete is None else (lambda job: on_complete())
+                ),
+                tag=("R", k),
+            )
+            return
+        self._read_attempt(k, service, 0, on_complete, on_error)
+
+    def _read_attempt(
+        self,
+        key: Hashable,
+        service: float,
+        attempt: int,
+        on_complete: Optional[Callable[[], None]],
+        on_error: Optional[Callable[[BaseException], None]],
+    ) -> None:
+        """One read attempt; retries itself after backoff on a fault."""
+        inj = self.injector
+        if self.failed:  # device died during the backoff wait
+            self._report_error(
+                DeviceFailedError(f"{self.name}: read {key!r} from failed device"),
+                on_error,
+            )
+            return
+        assert inj is not None
+
+        def _done(job) -> None:
+            if self.failed:
+                self._report_error(
+                    DeviceFailedError(
+                        f"{self.name}: device failed mid-read of {key!r}"
+                    ),
+                    on_error,
+                )
+                return
+            wear = (
+                self.ftl.max_wear_of(key) if inj.plan.wear_ber_per_pe > 0.0 else 0
+            )
+            if inj.roll_read_fault(wear):
+                if attempt < inj.max_read_retries:
+                    inj.stats.read_retries += 1
+                    self.sim.schedule(
+                        inj.backoff(attempt),
+                        lambda: self._read_attempt(
+                            key, service, attempt + 1, on_complete, on_error
+                        ),
+                    )
+                else:
+                    inj.stats.reads_unrecovered += 1
+                    self._report_error(
+                        ReadFaultError(
+                            f"{self.name}: read {key!r} failed after "
+                            f"{attempt + 1} attempts"
+                        ),
+                        on_error,
+                    )
+                return
+            if attempt > 0:
+                inj.stats.reads_recovered += 1
+            if on_complete is not None:
+                on_complete()
+
+        self.queue.submit(service + inj.latency_spike(), on_complete=_done,
+                          tag=("R", key))
 
     def trim(self, key: Hashable) -> bool:
         """Invalidate the stored extent for ``key`` (no queue time charged)."""

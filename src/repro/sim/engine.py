@@ -173,6 +173,17 @@ class Simulator:
             self._foreground += 1
         return EventHandle(time, seq)
 
+    def defer(self, action: Callable[[], None]) -> EventHandle:
+        """Run ``action`` at the current instant, after queued same-time events.
+
+        Error-notification paths use this instead of calling back
+        synchronously: a fault detected while a compound request is
+        still being planned (e.g. mid-way through issuing a RAID
+        stripe) must not re-enter the issuing layer before the plan is
+        fully set up.
+        """
+        return self.schedule(0.0, action)
+
     def every(
         self,
         interval: float,

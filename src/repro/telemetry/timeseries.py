@@ -366,6 +366,56 @@ def bind_standard_metrics(sampler: TimeSeriesSampler, device) -> None:
 
         sampler.register("flash.busy_fraction", _busy_fraction)
 
+    # Fault/recovery vocabulary — only present on fault-injected runs
+    # (a FaultPlan.attach leaves the injector list on the backend), so
+    # baseline scrapes and their exposition output are unchanged.
+    injectors = getattr(backend, "fault_injectors", None)
+    if injectors:
+        from repro.faults.plan import FaultStats
+
+        for fname in FaultStats.FIELDS:
+            sampler.register(
+                f"faults.{fname}",
+                (lambda n=fname: float(
+                    sum(getattr(i.stats, n) for i in injectors)
+                )),
+                metric="faults",
+                labels={"kind": fname},
+            )
+        sampler.register(
+            "edc.codec_fallbacks",
+            lambda: float(device.stats.codec_fallbacks),
+        )
+        sampler.register(
+            "edc.unrecovered_reads",
+            lambda: float(device.unrecovered_reads),
+        )
+        sampler.register(
+            "edc.unrecovered_writes",
+            lambda: float(device.unrecovered_writes),
+        )
+        if hasattr(backend, "degraded"):
+            astats = backend.stats
+            sampler.register(
+                "array.degraded", lambda: 1.0 if backend.degraded else 0.0
+            )
+            sampler.register(
+                "array.degraded_reads", lambda: float(astats.degraded_reads)
+            )
+            sampler.register(
+                "array.degraded_writes", lambda: float(astats.degraded_writes)
+            )
+            sampler.register(
+                "array.rebuilt_rows", lambda: float(astats.rebuilt_rows)
+            )
+            sampler.register(
+                "array.member_failures", lambda: float(astats.member_failures)
+            )
+            sampler.register(
+                "array.unrecovered",
+                lambda: float(astats.unrecovered_reads + astats.unrecovered_writes),
+            )
+
 
 def _flash_servers(backend) -> List[object]:
     """All queue servers below ``backend`` (RAID members recursed)."""

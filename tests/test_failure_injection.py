@@ -6,13 +6,17 @@ that every failure surfaces as a typed error instead of silent data
 loss.
 """
 
+import random
+
 import pytest
 
 from repro.compression.codec import Codec, CodecError, CodecRegistry
 from repro.core.config import EDCConfig
 from repro.core.device import EDCBlockDevice, IntegrityError
 from repro.core.policy import FixedPolicy
+from repro.faults import DeviceFailure, FaultPlan
 from repro.flash.geometry import x25e_like
+from repro.flash.raid import RAIS5
 from repro.flash.ssd import SimulatedSSD
 from repro.sdgen.datasets import ENTERPRISE_MIX
 from repro.sdgen.generator import ContentMix, ContentStore
@@ -111,3 +115,138 @@ class TestApiMisuse:
         m.record(1.0, "W", 4096)
         m.record(0.5, "W", 4096)
         assert m.raw_iops(1.0) == pytest.approx(2 / 10.0)
+
+
+def _chaos_device(sim, plan, backend="ssd"):
+    """An EDC device over a fault-injected backend, chaos-test sized."""
+    if backend == "ssd":
+        store = SimulatedSSD(sim, geometry=x25e_like(32))
+        devices = None
+    else:
+        devices = [
+            SimulatedSSD(sim, name=f"ssd{i}", geometry=x25e_like(32))
+            for i in range(5)
+        ]
+        store = RAIS5(devices, stripe_unit=4096)
+    plan.attach(sim, store, devices)
+    content = ContentStore(ContentMix("m", {"text": 1.0}), pool_blocks=8, seed=1)
+    cfg = EDCConfig(sd_enabled=False)
+    dev = EDCBlockDevice(sim, store, FixedPolicy("gzip"), content, cfg)
+    return dev, store, devices
+
+
+class TestChaosSliceInvariants:
+    """Replay chaos traffic in slices; the FTL must stay consistent
+    after every slice, faults or not."""
+
+    def test_invariants_hold_after_every_slice_single_ssd(self):
+        sim = Simulator()
+        plan = FaultPlan(
+            seed=13,
+            read_fault_prob=0.05,
+            program_fault_prob=0.02,
+            latency_spike_prob=0.02,
+            latency_spike_s=1e-3,
+        )
+        dev, ssd, _ = _chaos_device(sim, plan, backend="ssd")
+        rng = random.Random(99)
+        t = 0.0
+        for _slice in range(8):
+            for _ in range(40):
+                t += 5e-4
+                lba = rng.randrange(0, 2000) * 4096
+                op = "W" if rng.random() < 0.7 else "R"
+                sim.schedule_at(
+                    t, lambda t=t, op=op, lba=lba: dev.submit(
+                        IORequest(t, op, lba, 4096)
+                    )
+                )
+            sim.run()
+            t = max(t, sim.now)
+            ssd.ftl.check_invariants()
+        assert ssd.injector.stats.read_faults > 0
+        assert ssd.injector.stats.reads_unrecovered == 0
+
+    def test_invariants_hold_through_member_failure_and_rebuild(self):
+        sim = Simulator()
+        plan = FaultPlan(
+            seed=21,
+            read_fault_prob=0.02,
+            device_failures=(DeviceFailure(0.04, "ssd3"),),
+            rebuild_delay_s=0.005,
+            rebuild_batch_rows=4,
+        )
+        dev, arr, _ = _chaos_device(sim, plan, backend="rais5")
+        rng = random.Random(7)
+        t = 0.0
+        for _slice in range(6):
+            for _ in range(30):
+                t += 1e-3
+                lba = rng.randrange(0, 4000) * 4096
+                op = "W" if rng.random() < 0.7 else "R"
+                sim.schedule_at(
+                    t, lambda t=t, op=op, lba=lba: dev.submit(
+                        IORequest(t, op, lba, 4096)
+                    )
+                )
+            sim.run()
+            t = max(t, sim.now)
+            # arr.devices, not the build-time list: the rebuild swaps
+            # the failed member for a spare mid-run.
+            for member in arr.devices:
+                member.ftl.check_invariants()
+        assert arr.stats.member_failures == 1
+        assert not arr.degraded  # auto-rebuild completed
+        assert arr.stats.unrecovered_reads == 0
+        assert arr.stats.unrecovered_writes == 0
+        assert dev.unrecovered_reads == 0
+        assert dev.unrecovered_writes == 0
+
+
+class TestFaultAccountingProperties:
+    """Property-style checks: recovery work must never corrupt the books."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_program_fault_reprogram_never_double_charges(self, seed):
+        # Every retirement reprograms the just-written extent, but the
+        # FlashCost host-byte ledger must count each host write once.
+        rng = random.Random(seed)
+        sim = Simulator()
+        plan = FaultPlan(seed=seed, program_fault_prob=0.5)
+        ssd = SimulatedSSD(sim, geometry=x25e_like(32))
+        ssd.injector = plan.injector_for(ssd.name)
+        total = 0
+        for i in range(120):
+            n = rng.choice([512, 2048, 4096, 8192])
+            lba = rng.randrange(0, 40) * 16384
+            total += n
+            sim.schedule_at(i * 1e-3, lambda lba=lba, n=n: ssd.submit_write(lba, n))
+        sim.run()
+        assert ssd.ftl.stats.host_bytes == total
+        assert ssd.injector.stats.program_faults > 0
+        ssd.ftl.check_invariants()
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_no_extent_leak_after_trim(self, seed):
+        # Retirement relocates (and may split) extents; trimming every
+        # key afterwards must still release every live byte.
+        rng = random.Random(seed)
+        sim = Simulator()
+        plan = FaultPlan(seed=seed, program_fault_prob=0.3, read_fault_prob=0.1)
+        ssd = SimulatedSSD(sim, geometry=x25e_like(32))
+        ssd.injector = plan.injector_for(ssd.name)
+        lbas = set()
+        for i in range(150):
+            lba = rng.randrange(0, 60) * 16384
+            lbas.add(lba)
+            sim.schedule_at(
+                i * 1e-3,
+                lambda lba=lba, n=rng.choice([1024, 4096]): ssd.submit_write(lba, n),
+            )
+        sim.run()
+        assert ssd.ftl.retired_blocks > 0
+        for lba in lbas:
+            assert ssd.trim(lba)
+        assert ssd.ftl.live_bytes == 0
+        assert not any(ssd.ftl.contains(lba) for lba in lbas)
+        ssd.ftl.check_invariants()
