@@ -10,6 +10,7 @@ Usage::
     python -m repro.bench --telemetry --metrics   # one replay, both reports
     python -m repro.bench breakdown --trace-dump spans.jsonl
     python -m repro.bench --metrics --series-dump ts.jsonl --prom-dump metrics.prom
+    python -m repro.bench --audit --shadow lzf,gzip --audit-dump audit.jsonl
     python -m repro.bench --chaos benchmarks/chaos_fin1.json   # fault-injected replay
 
 Exhibit names: fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12
@@ -23,7 +24,11 @@ additionally writes the span trace as JSON lines); ``--metrics``
 samples the time-series vocabulary every 0.25 simulated seconds and
 prints the ASCII dashboard with band-switch markers (``--series-dump
 PATH`` writes the ring series as JSON lines, ``--prom-dump PATH``
-writes a Prometheus-style exposition snapshot).
+writes a Prometheus-style exposition snapshot); ``--audit`` attaches
+the decision auditor (``--shadow`` names comma-separated counterfactual
+policies, ``--audit-dump PATH`` writes the audit trail as JSON lines
+for ``python -m repro.bench.diff``) and prints the per-band regret
+table.  All three flags compose over the same single replay.
 """
 
 from __future__ import annotations
@@ -57,19 +62,27 @@ def _run_breakdown(
     series_dump: str | None = None,
     prom_dump: str | None = None,
     interval: float = 0.25,
+    with_audit: bool = False,
+    shadow_spec: str = "lzf,gzip",
+    audit_dump: str | None = None,
 ) -> None:
     """Replay Fin1 under EDC once, with whichever instrumentation was asked.
 
-    ``--telemetry`` and ``--metrics`` compose here: one device, one
-    replay, and each flag only adds its report over the shared run.
+    ``--telemetry``, ``--metrics`` and ``--audit`` compose here: one
+    device, one replay, and each flag only adds its report over the
+    shared run.
     """
     from repro.bench.experiments import replay
+    from repro.bench.report import render_audit
     from repro.sim.engine import Simulator
     from repro.telemetry import (
+        DecisionAuditor,
         Telemetry,
         TimeSeriesSampler,
+        dump_audit_jsonl,
         dump_jsonl,
         dump_timeseries_jsonl,
+        parse_shadow_spec,
         render_dashboard,
         render_exposition,
     )
@@ -79,15 +92,21 @@ def _run_breakdown(
     fps = {}
     try:
         for label, path in (("trace", trace_dump), ("series", series_dump),
-                            ("prom", prom_dump)):
+                            ("prom", prom_dump), ("audit", audit_dump)):
             if path:
                 fps[label] = open(path, "w", encoding="utf-8")
         telemetry = Telemetry(Simulator()) if with_telemetry else None
         sampler = TimeSeriesSampler(interval=interval) if with_metrics else None
+        auditor = (
+            DecisionAuditor(shadows=parse_shadow_spec(shadow_spec))
+            if with_audit else None
+        )
         trace = make_workload("Fin1", duration=duration)
-        result = replay(trace, "EDC", telemetry=telemetry, sampler=sampler)
+        result = replay(trace, "EDC", telemetry=telemetry, sampler=sampler,
+                        auditor=auditor)
         parts = [p for on, p in ((with_telemetry, "telemetry"),
-                                 (with_metrics, "metrics")) if on]
+                                 (with_metrics, "metrics"),
+                                 (with_audit, "audit")) if on]
         print(f"{'+'.join(parts)}: Fin1 x EDC, {result.n_requests} requests, "
               f"mean response {result.mean_response * 1e3:.3f} ms")
         if telemetry is not None:
@@ -102,6 +121,13 @@ def _run_breakdown(
             if "series" in fps:
                 n = dump_timeseries_jsonl(sampler, fps["series"])
                 print(f"\nwrote {n} series/marker lines to {series_dump}")
+        if auditor is not None:
+            print()
+            print(render_audit(auditor))
+            if "audit" in fps:
+                n = dump_audit_jsonl(auditor, fps["audit"])
+                print(f"\nwrote {n} audit lines to {audit_dump} "
+                      f"(diff with: python -m repro.bench.diff)")
         if "prom" in fps:
             text = render_exposition(
                 metrics=telemetry.metrics if telemetry is not None else None,
@@ -191,6 +217,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sample-interval", type=float, default=0.25,
                         help="sampler tick in virtual seconds "
                              "(default 0.25)")
+    parser.add_argument("--audit", action="store_true",
+                        help="also run the 'breakdown' exhibit with the "
+                             "decision auditor: per-band regret table vs "
+                             "shadow policies (composes with --telemetry "
+                             "and --metrics over one shared replay)")
+    parser.add_argument("--shadow", metavar="SPEC", default="lzf,gzip",
+                        help="comma-separated shadow policies for --audit "
+                             "(native, lzf, gzip, bzip2, edc; "
+                             "default lzf,gzip)")
+    parser.add_argument("--audit-dump", metavar="PATH", default=None,
+                        help="with --audit, write the decision-audit "
+                             "trail as JSON lines to PATH (compare runs "
+                             "with python -m repro.bench.diff)")
     parser.add_argument("--chaos", metavar="PLAN.json", default=None,
                         help="replay one trace under the JSON fault plan "
                              "and report recovered vs lost requests; "
@@ -210,7 +249,8 @@ def main(argv: list[str] | None = None) -> int:
             )
         except (OSError, ValueError) as exc:
             parser.error(f"--chaos {args.chaos}: {exc}")
-    instrumented = args.telemetry or args.metrics or bool(args.prom_dump)
+    instrumented = (args.telemetry or args.metrics or bool(args.prom_dump)
+                    or args.audit or bool(args.audit_dump))
     wanted = tuple(args.exhibits) or (ALL[:-1] if not instrumented else ALL)
     if instrumented and "breakdown" not in wanted:
         wanted = wanted + ("breakdown",)
@@ -274,6 +314,7 @@ def main(argv: list[str] | None = None) -> int:
             # Explicit `breakdown` exhibit without flags keeps the old
             # telemetry-only behaviour; --metrics alone skips the span
             # machinery it doesn't need.
+            with_audit = args.audit or bool(args.audit_dump)
             _run_breakdown(
                 args.duration,
                 args.trace_dump,
@@ -282,6 +323,9 @@ def main(argv: list[str] | None = None) -> int:
                 series_dump=args.series_dump,
                 prom_dump=args.prom_dump,
                 interval=args.sample_interval,
+                with_audit=with_audit,
+                shadow_spec=args.shadow,
+                audit_dump=args.audit_dump,
             )
         elif name == "fig12":
             pts = fig12_threshold_sensitivity(duration=args.duration)

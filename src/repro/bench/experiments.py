@@ -126,6 +126,7 @@ def replay(
     cost_model: Optional[CodecCostModel] = None,
     telemetry=None,
     sampler=None,
+    auditor=None,
     fault_plan=None,
     on_built=None,
 ) -> ExperimentResult:
@@ -143,6 +144,14 @@ def replay(
     started before the first request, so after the call its ring series
     hold the replay's time-resolved view.  Telemetry and sampler
     compose — one replay feeds both.
+
+    ``auditor`` optionally attaches a
+    :class:`~repro.telemetry.audit.DecisionAuditor`: every write
+    decision of the replay (inputs, chosen codec, size class,
+    shadow-policy counterfactuals) lands in its aggregates and
+    reservoir.  Auditing is side-effect-free — the replayed results are
+    bit-identical with or without it — and composes with ``telemetry``
+    and ``sampler`` over the same single replay.
 
     ``fault_plan`` optionally attaches a
     :class:`~repro.faults.FaultPlan` to the built backend (per-device
@@ -172,7 +181,7 @@ def replay(
     device = build_device(
         sim, scheme, backend, content,
         config=cfg.device_config, bands=bands, cost_model=cost_model,
-        telemetry=telemetry,
+        telemetry=telemetry, auditor=auditor,
     )
     if fault_plan is not None:
         for ssd in devices if devices is not None else [backend]:

@@ -83,16 +83,19 @@ def build_device(
     bands: Optional[Sequence[IntensityBand]] = None,
     cost_model: Optional[CodecCostModel] = None,
     telemetry=None,
+    auditor=None,
 ) -> EDCBlockDevice:
     """A ready-to-replay device running ``scheme`` over ``backend``.
 
     ``telemetry`` optionally attaches a
     :class:`~repro.telemetry.Telemetry` for span tracing and the
-    per-layer latency breakdown.
+    per-layer latency breakdown; ``auditor`` a
+    :class:`~repro.telemetry.audit.DecisionAuditor` for the per-write
+    decision trail and shadow-policy counterfactuals.
     """
     policy = build_policy(scheme, bands)
     cfg = scheme_config(scheme, config)
     return EDCBlockDevice(
         sim, backend, policy, content, cfg, cost_model=cost_model,
-        telemetry=telemetry,
+        telemetry=telemetry, auditor=auditor,
     )

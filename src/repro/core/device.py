@@ -64,6 +64,7 @@ class EDCBlockDevice:
         registry: Optional[CodecRegistry] = None,
         cost_model: Optional[CodecCostModel] = None,
         telemetry: Optional[Telemetry] = None,
+        auditor=None,
     ) -> None:
         self.sim = sim
         self.policy = policy
@@ -120,6 +121,13 @@ class EDCBlockDevice:
         )
         if self.telemetry.enabled:
             self.telemetry.bind_device(self)
+
+        #: optional :class:`~repro.telemetry.audit.DecisionAuditor`;
+        #: ``None`` (the default) keeps the write path audit-free and
+        #: the replay bit-identical to an unaudited one.
+        self.auditor = auditor
+        if auditor is not None:
+            auditor.bind_device(self)
 
     # ------------------------------------------------------------------
     # public API
@@ -192,6 +200,39 @@ class EDCBlockDevice:
             for run in self.sd.flush_timeout():
                 self._process_run(run)
 
+    def plan_for_policy(
+        self,
+        policy: CompressionPolicy,
+        run_ids: Tuple[int, ...],
+        iops: float,
+        hint: Optional[str],
+    ) -> Tuple[Optional[str], WritePlan, bool]:
+        """Consult ``policy`` and plan a run's stored form at ``iops``.
+
+        Returns ``(selected codec, plan, codec_fallback)`` without
+        touching device statistics or simulator state, so the decision
+        auditor can run shadow policies through the exact decision logic
+        the live path uses (intensity band, gate, hint exemption, 75 %
+        rule, raw fallback on codec failure).
+        """
+        codec_name = policy.select_codec(iops, hint)
+        gate = policy.uses_gate and self.config.compressibility_gate
+        if gate and hint is not None:
+            exempt = getattr(policy, "gate_exempt", None)
+            if exempt is not None and exempt(hint):
+                # The hint already settles compressibility: skip the
+                # sampled estimation and its CPU cost.
+                gate = False
+        try:
+            plan = self.engine.plan_write(run_ids, codec_name, gate)
+            fallback = False
+        except CodecError:
+            # A codec failure mid-write must not lose the data: fall
+            # back to storing the run raw (no gate — raw always "fits").
+            plan = self.engine.plan_write(run_ids, None, gate=False)
+            fallback = True
+        return codec_name, plan, fallback
+
     def _process_run(self, run: PendingRun) -> None:
         """Compress (maybe) and store one flush unit."""
         bs = self.config.block_size
@@ -206,27 +247,22 @@ class EDCBlockDevice:
             self.content.block_id((start_blk + i) * bs, versions[i])
             for i in range(nblocks)
         )
-        iops = self.monitor.calculated_iops(self.sim.now)
+        snap = None
+        if self.auditor is not None:
+            snap = self.monitor.snapshot(self.sim.now, self.policy)
+            iops = snap.calculated_iops
+        else:
+            iops = self.monitor.calculated_iops(self.sim.now)
         hint = (
             self.content.kind_of_id(run_ids[0])
             if self.config.semantic_hints
             else None
         )
-        codec_name = self.policy.select_codec(iops, hint)
-        gate = self.policy.uses_gate and self.config.compressibility_gate
-        if gate and hint is not None:
-            exempt = getattr(self.policy, "gate_exempt", None)
-            if exempt is not None and exempt(hint):
-                # The hint already settles compressibility: skip the
-                # sampled estimation and its CPU cost.
-                gate = False
-        try:
-            plan = self.engine.plan_write(run_ids, codec_name, gate)
-        except CodecError:
-            # A codec failure mid-write must not lose the data: fall
-            # back to storing the run raw (no gate — raw always "fits").
+        codec_name, plan, fallback = self.plan_for_policy(
+            self.policy, run_ids, iops, hint
+        )
+        if fallback:
             self.stats.codec_fallbacks += 1
-            plan = self.engine.plan_write(run_ids, None, gate=False)
         if plan.gated:
             self.stats.skipped_incompressible += 1
         if plan.failed_75pct:
@@ -234,17 +270,22 @@ class EDCBlockDevice:
         if plan.policy_raw and codec_name is None and self.policy.name != "Native":
             self.stats.skipped_intensity += 1
 
+        aev = (
+            self.auditor.on_decision(run, run_ids, snap, hint, codec_name, plan)
+            if self.auditor is not None
+            else None
+        )
         rec = self.telemetry.write_run_planned(run, plan) if self._tp_req else None
         if plan.cpu_time > 0:
             self.cpu.submit(
                 plan.cpu_time,
                 on_complete=lambda job: self._commit_write(
-                    run, plan, run_ids, rec, job
+                    run, plan, run_ids, rec, job, aev
                 ),
                 tag=("compress", start_blk),
             )
         else:
-            self._commit_write(run, plan, run_ids, rec)
+            self._commit_write(run, plan, run_ids, rec, aev=aev)
 
     def _commit_write(
         self,
@@ -253,6 +294,7 @@ class EDCBlockDevice:
         run_ids: Tuple[int, ...],
         rec: object = None,
         job: object = None,
+        aev: object = None,
     ) -> None:
         """Compression finished: allocate, map, and issue the device write."""
         if rec is not None:
@@ -273,6 +315,8 @@ class EDCBlockDevice:
             self._entry_meta.pop(old_id, None)
         cls = self.allocator.allocate(eid, plan.payload_size, plan.original_size)
         self._entry_meta[eid] = (run_ids, plan.codec_name)
+        if aev is not None:
+            self.auditor.on_commit(aev, cls)
         self.stats.note_write(
             codec_name=plan.codec_name,
             logical=plan.original_size,
@@ -288,6 +332,8 @@ class EDCBlockDevice:
             for arrival in arrivals:
                 self.write_latency.add(now - arrival)
                 self._outstanding -= 1
+            if aev is not None:
+                self.auditor.on_complete(aev, rec)
             if rec is not None:
                 self.telemetry.write_run_done(rec)
 

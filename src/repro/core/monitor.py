@@ -21,19 +21,30 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Tuple
+from typing import Deque, Optional, Tuple
 
 __all__ = ["WorkloadMonitor", "MonitorSnapshot"]
 
 
 @dataclass(frozen=True)
 class MonitorSnapshot:
-    """The monitor's view of the workload at one instant."""
+    """The monitor's view of the workload at one instant.
+
+    ``band_index`` is the intensity band the supplied policy would pick
+    at this instant (``None`` when no banded policy was passed to
+    :meth:`WorkloadMonitor.snapshot`); ``window_requests`` /
+    ``window_pages`` expose the sliding window's occupancy, so a
+    decision audit can tell a confident intensity reading (full window)
+    from a cold-start one (near-empty window).
+    """
 
     time: float
     calculated_iops: float
     raw_iops: float
     read_fraction: float
+    band_index: Optional[int] = None
+    window_requests: int = 0
+    window_pages: float = 0.0
 
 
 class WorkloadMonitor:
@@ -131,13 +142,27 @@ class WorkloadMonitor:
         self._expire(now)
         return self._requests_sum / self.window
 
-    def snapshot(self, now: float) -> MonitorSnapshot:
+    def snapshot(self, now: float, policy=None) -> MonitorSnapshot:
+        """The monitor's state at ``now``, optionally banded by ``policy``.
+
+        ``policy`` may be any object with a pure ``band_index(iops)``
+        query (:class:`~repro.core.policy.ElasticPolicy`); the snapshot
+        then carries the band the intensity implies without touching the
+        policy's selection counters.
+        """
         now = self._clamped(now)
         self._expire(now)
         raw = self._requests_sum
+        calc = self._pages_sum / self.window
+        band: Optional[int] = None
+        if policy is not None and hasattr(policy, "band_index"):
+            band = policy.band_index(calc)
         return MonitorSnapshot(
             time=now,
-            calculated_iops=self._pages_sum / self.window,
+            calculated_iops=calc,
             raw_iops=raw / self.window,
             read_fraction=(self._reads_sum / raw) if raw > 0 else 0.0,
+            band_index=band,
+            window_requests=len(self._events),
+            window_pages=self._pages_sum,
         )

@@ -167,3 +167,17 @@ class ElasticPolicy(CompressionPolicy):
         if total == 0:
             return [0.0] * len(self.bands)
         return [c / total for c in self.band_counts]
+
+    def band_labels(self) -> list[str]:
+        """Human-readable IOPS interval label per band, parallel to
+        ``bands`` — ``[0,250)``, ``[250,3000)``, ``>=3000`` for the
+        default ladder.  Used by the decision-audit regret tables."""
+        labels = []
+        lo = 0.0
+        for band in self.bands:
+            if band.upper_iops == float("inf"):
+                labels.append(f">={lo:g}")
+            else:
+                labels.append(f"[{lo:g},{band.upper_iops:g})")
+            lo = band.upper_iops
+        return labels

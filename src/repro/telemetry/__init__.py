@@ -23,6 +23,10 @@ A zero-dependency observability layer for the EDC stack.  Four pieces:
   (render + parse) over the metrics registry and sampled series.
 - :mod:`repro.telemetry.dashboard` — ASCII multi-panel sparkline
   dashboard with band-switch markers.
+- :mod:`repro.telemetry.audit` — per-write decision provenance
+  (:class:`DecisionAuditor`): policy inputs, shadow-policy
+  counterfactual accounting and JSONL dumps consumed by
+  ``python -m repro.bench.diff``.
 """
 
 from repro.telemetry.histograms import (
@@ -58,6 +62,13 @@ from repro.telemetry.exposition import (
     render_exposition,
 )
 from repro.telemetry.dashboard import render_dashboard, sparkline
+from repro.telemetry.audit import (
+    AUDIT_SCHEMA_VERSION,
+    DecisionAuditor,
+    dump_audit_jsonl,
+    parse_shadow_spec,
+    shadow_policy,
+)
 
 __all__ = [
     "Span",
@@ -88,4 +99,9 @@ __all__ = [
     "parse_exposition",
     "render_dashboard",
     "sparkline",
+    "AUDIT_SCHEMA_VERSION",
+    "DecisionAuditor",
+    "dump_audit_jsonl",
+    "parse_shadow_spec",
+    "shadow_policy",
 ]

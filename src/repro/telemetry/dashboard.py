@@ -27,7 +27,10 @@ def sparkline(values: Sequence[float], width: int = 60) -> str:
     """Resample ``values`` to ``width`` columns of block characters.
 
     Each column shows the mean of its slice of samples, scaled to the
-    series' own min/max (a flat series renders as a flat low line).
+    series' own min/max.  A constant or single-sample series has no
+    scale of its own, so it renders as a flat midline rather than
+    pinning to the bottom (which reads as "zero") or dividing by the
+    zero span.
     """
     if width < 1:
         raise ValueError(f"width must be >= 1: {width!r}")
@@ -47,7 +50,8 @@ def sparkline(values: Sequence[float], width: int = 60) -> str:
     vmax = max(cols)
     span = vmax - vmin
     if span <= 0:
-        return SPARK_CHARS[0] * len(cols)
+        mid = SPARK_CHARS[(len(SPARK_CHARS) - 1) // 2]
+        return mid * len(cols)
     out = []
     for v in cols:
         level = int((v - vmin) / span * (len(SPARK_CHARS) - 1))

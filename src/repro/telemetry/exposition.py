@@ -25,12 +25,8 @@ __all__ = ["render_exposition", "parse_exposition", "ExpositionError"]
 
 #: Valid Prometheus metric-name characters.
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
-_LINE_RE = re.compile(
-    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
-    r"\s+(?P<value>[^\s]+)$"
-)
-_LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"$')
+_NAME_START_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_KEY_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
 
 class ExpositionError(ValueError):
@@ -53,11 +49,22 @@ def _fmt_value(v: float) -> str:
     return repr(float(v))
 
 
+def _escape_label_value(v: str) -> str:
+    """Escape a label value per the text format: ``\\``, ``"``, newline."""
+    return v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP text per the text format: ``\\`` and newline only."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _fmt_labels(labels: Dict[str, str]) -> str:
     if not labels:
         return ""
     inner = ",".join(
-        f'{sanitize_name(k)}="{str(v)}"' for k, v in sorted(labels.items())
+        f'{sanitize_name(k)}="{_escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
     )
     return "{" + inner + "}"
 
@@ -74,7 +81,7 @@ class _Writer:
         if name in self._typed:
             return
         self._typed.add(name)
-        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# HELP {name} {_escape_help(help_text)}")
         self.lines.append(f"# TYPE {name} {mtype}")
 
     def sample(
@@ -159,12 +166,90 @@ def render_exposition(
     return "\n".join(w.lines) + "\n" if w.lines else ""
 
 
+def _scan_labels(
+    s: str, lineno: int
+) -> Tuple[List[Tuple[str, str]], str]:
+    """Scan a ``{...}`` label body, honouring quoting and escapes.
+
+    ``s`` starts at the opening brace; returns the decoded ``(key,
+    value)`` pairs and the remainder after the closing brace.  A plain
+    regex cannot do this: escaped quotes and literal ``}`` inside a
+    quoted value must not terminate the body.
+    """
+    labels: List[Tuple[str, str]] = []
+    i = 1
+    while True:
+        while i < len(s) and s[i] in " \t":
+            i += 1
+        if i < len(s) and s[i] == "}":
+            return labels, s[i + 1:]
+        j = i
+        while j < len(s) and (s[j].isalnum() or s[j] == "_"):
+            j += 1
+        key = s[i:j]
+        if not _LABEL_KEY_RE.match(key):
+            raise ExpositionError(f"line {lineno}: bad label key {key!r}")
+        if j >= len(s) or s[j] != "=":
+            raise ExpositionError(f"line {lineno}: expected '=' after {key!r}")
+        j += 1
+        if j >= len(s) or s[j] != '"':
+            raise ExpositionError(
+                f"line {lineno}: label {key!r} value is not quoted"
+            )
+        j += 1
+        buf: List[str] = []
+        closed = False
+        while j < len(s):
+            ch = s[j]
+            if ch == "\\":
+                if j + 1 >= len(s):
+                    raise ExpositionError(
+                        f"line {lineno}: dangling escape in label {key!r}"
+                    )
+                nxt = s[j + 1]
+                if nxt == "\\":
+                    buf.append("\\")
+                elif nxt == '"':
+                    buf.append('"')
+                elif nxt == "n":
+                    buf.append("\n")
+                else:
+                    raise ExpositionError(
+                        f"line {lineno}: bad escape '\\{nxt}' in "
+                        f"label {key!r}"
+                    )
+                j += 2
+            elif ch == '"':
+                j += 1
+                closed = True
+                break
+            else:
+                buf.append(ch)
+                j += 1
+        if not closed:
+            raise ExpositionError(
+                f"line {lineno}: unterminated label value for {key!r}"
+            )
+        labels.append((key, "".join(buf)))
+        while j < len(s) and s[j] in " \t":
+            j += 1
+        if j < len(s) and s[j] == ",":
+            i = j + 1
+        elif j < len(s) and s[j] == "}":
+            return labels, s[j + 1:]
+        else:
+            raise ExpositionError(
+                f"line {lineno}: expected ',' or '}}' after label {key!r}"
+            )
+
+
 def parse_exposition(
     text: str,
 ) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
     """Parse exposition text back into ``{(name, labels): value}``.
 
-    Labels are a sorted tuple of ``(key, value)`` pairs.  Raises
+    Labels are a sorted tuple of ``(key, value)`` pairs with the
+    text-format escapes (``\\\\``, ``\\"``, ``\\n``) decoded.  Raises
     :class:`ExpositionError` on malformed lines or duplicate samples —
     the two failure modes a Prometheus scraper rejects a target for.
     """
@@ -173,25 +258,22 @@ def parse_exposition(
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
-        m = _LINE_RE.match(line)
+        m = _NAME_START_RE.match(line)
         if m is None:
             raise ExpositionError(f"line {lineno}: unparsable: {raw!r}")
-        name = m.group("name")
+        name = m.group(0)
+        rest = line[m.end():]
         labels: List[Tuple[str, str]] = []
-        body = m.group("labels")
-        if body:
-            for part in body.split(","):
-                lm = _LABEL_RE.match(part.strip())
-                if lm is None:
-                    raise ExpositionError(
-                        f"line {lineno}: bad label {part!r}"
-                    )
-                labels.append((lm.group("key"), lm.group("val")))
+        if rest.startswith("{"):
+            labels, rest = _scan_labels(rest, lineno)
+        value_str = rest.strip()
+        if not value_str or any(c in value_str for c in " \t"):
+            raise ExpositionError(f"line {lineno}: unparsable: {raw!r}")
         try:
-            value = float(m.group("value"))
+            value = float(value_str)
         except ValueError as exc:
             raise ExpositionError(
-                f"line {lineno}: bad value {m.group('value')!r}"
+                f"line {lineno}: bad value {value_str!r}"
             ) from exc
         key = (name, tuple(sorted(labels)))
         if key in out:

@@ -271,6 +271,8 @@ def bind_standard_metrics(sampler: TimeSeriesSampler, device) -> None:
     active intensity band, per-codec write shares, compression ratio,
     per-class slot occupancy, CPU/flash queue depths, GC collections and
     moved bytes, write amplification and the flash busy fraction.
+    Audited devices additionally export ``audit.decisions`` and a
+    per-shadow ``audit.divergence_share`` family.
     """
     sim = device.sim
     monitor = device.monitor
@@ -415,6 +417,19 @@ def bind_standard_metrics(sampler: TimeSeriesSampler, device) -> None:
                 "array.unrecovered",
                 lambda: float(astats.unrecovered_reads + astats.unrecovered_writes),
             )
+
+    # Decision-audit vocabulary — only present on audited runs, so
+    # baseline scrapes and their exposition output are unchanged.
+    auditor = getattr(device, "auditor", None)
+    if auditor is not None:
+        sampler.register(
+            "audit.decisions", lambda: float(auditor.n_decisions)
+        )
+        sampler.register_multi(
+            "audit.divergence_share",
+            auditor.divergence_shares,
+            label_key="shadow",
+        )
 
 
 def _flash_servers(backend) -> List[object]:

@@ -54,3 +54,33 @@ class TestCli:
         assert "telemetry+metrics" in out
         assert "Per-layer latency breakdown" in out
         assert "time-series dashboard" in out
+
+    def test_audit_flag_prints_regret_table(self, capsys, tmp_path):
+        dump = tmp_path / "audit.jsonl"
+        assert main(["breakdown", "--audit", "--shadow", "lzf,gzip",
+                     "--audit-dump", str(dump), "--duration", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "decision audit:" in out
+        assert "per-band regret" in out
+        assert "Lzf MB" in out and "Gzip MB" in out
+        assert "EDC vs best-static" in out
+        # the dump is valid JSONL the diff tool accepts (self-diff = 0)
+        import json
+
+        from repro.bench.diff import main as diff_main
+
+        lines = dump.read_text().strip().splitlines()
+        assert lines and all(json.loads(l) for l in lines)
+        assert diff_main([str(dump), str(dump)]) == 0
+
+    def test_audit_composes_with_telemetry_and_metrics(self, capsys):
+        # one shared replay produces all three reports
+        assert main(["breakdown", "--audit", "--telemetry", "--metrics",
+                     "--duration", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry+metrics+audit" in out
+        assert "Per-layer latency breakdown" in out
+        assert "time-series dashboard" in out
+        assert "per-band regret" in out
+        # the audit vocabulary shows up in the sampled series too
+        assert "audit.decisions" in out

@@ -40,6 +40,13 @@ def build_fixture():
         )
         cs.append(1.5, share)
     sampler.mark("band_switch", "0->1", t=0.75)
+    # a label value exercising every text-format escape
+    ns = sampler.series_for(
+        "trace.note",
+        metric="trace.note",
+        labels={"note": 'say "hi"\\\nbye'},
+    )
+    ns.append(1.5, 1.0)
     return metrics, sampler
 
 
@@ -116,6 +123,44 @@ class TestRoundTrip:
     def test_parse_skips_comments_and_blanks(self):
         samples = parse_exposition("# HELP edc_x y\n\nedc_x 1.0\n")
         assert samples == {("edc_x", ()): 1.0}
+
+
+class TestEscaping:
+    def test_label_value_escapes_rendered(self):
+        _, sampler = build_fixture()
+        text = render_exposition(sampler=sampler)
+        assert r'edc_ts_trace_note{note="say \"hi\"\\\nbye"} 1.0' in text
+
+    def test_escaped_labels_round_trip(self):
+        _, sampler = build_fixture()
+        samples = parse_exposition(render_exposition(sampler=sampler))
+        assert samples[
+            ("edc_ts_trace_note", (("note", 'say "hi"\\\nbye'),))
+        ] == 1.0
+
+    def test_literal_brace_and_comma_in_value(self):
+        # '}' and ',' inside quotes must not terminate the label body
+        samples = parse_exposition('edc_x{a="b}c,d=\\"e"} 2.0\n')
+        assert samples == {("edc_x", (("a", 'b}c,d="e'),)): 2.0}
+
+    def test_help_text_escaped(self):
+        from repro.telemetry.histograms import MetricsRegistry
+
+        m = MetricsRegistry()
+        m.counter('weird\nname"x"').inc()
+        text = render_exposition(metrics=m)
+        help_line = next(l for l in text.splitlines()
+                         if l.startswith("# HELP"))
+        assert "\n" not in help_line
+        assert "\\n" in help_line
+
+    def test_parse_rejects_bad_escape(self):
+        with pytest.raises(ExpositionError):
+            parse_exposition('edc_x{a="b\\q"} 1.0\n')
+
+    def test_parse_rejects_unterminated_value(self):
+        with pytest.raises(ExpositionError):
+            parse_exposition('edc_x{a="b} 1.0\n')
 
 
 class TestGoldenFile:

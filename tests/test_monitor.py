@@ -78,6 +78,41 @@ class TestSnapshot:
         assert s.calculated_iops == 0.0
         assert s.read_fraction == 0.0
 
+    def test_snapshot_window_occupancy(self):
+        m = WorkloadMonitor(window=1.0, page_size=4096)
+        m.record(0.1, "W", 4096)
+        m.record(0.2, "W", 8192)
+        s = m.snapshot(0.2)
+        assert s.window_requests == 2
+        assert s.window_pages == pytest.approx(3.0)
+        # events sliding out of the window leave the occupancy
+        s2 = m.snapshot(1.5)
+        assert s2.window_requests == 0
+        assert s2.window_pages == 0.0
+
+    def test_snapshot_band_index_without_policy(self):
+        m = WorkloadMonitor(window=1.0)
+        m.record(0.1, "W", 4096)
+        assert m.snapshot(0.1).band_index is None
+
+    def test_snapshot_band_index_with_policy(self):
+        from repro.core.policy import ElasticPolicy, NativePolicy
+
+        m = WorkloadMonitor(window=1.0)
+        policy = ElasticPolicy()
+        s = m.snapshot(0.0, policy=policy)
+        assert s.band_index == policy.band_index(s.calculated_iops)
+        # a heavy burst lands in a higher band
+        for i in range(2000):
+            m.record(0.5 + i * 1e-4, "W", 4096)
+        s2 = m.snapshot(0.7, policy=policy)
+        assert s2.band_index is not None
+        assert s2.band_index > s.band_index
+        # the pure query must not perturb the policy's own counters
+        assert policy.band_counts == [0] * len(policy.bands)
+        # policies without a band ladder yield None
+        assert m.snapshot(0.7, policy=NativePolicy()).band_index is None
+
     def test_validation(self):
         with pytest.raises(ValueError):
             WorkloadMonitor(page_size=0)

@@ -77,6 +77,31 @@ class TestElastic:
     def test_shares_empty(self):
         assert ElasticPolicy().band_shares() == [0.0, 0.0, 0.0]
 
+    def test_shares_sum_to_one_when_used(self):
+        p = ElasticPolicy()
+        for iops in (0, 100, 5000, 50, 9000):
+            p.select_codec(iops)
+        shares = p.band_shares()
+        assert sum(shares) == pytest.approx(1.0)
+        assert all(0.0 <= s <= 1.0 for s in shares)
+
+    def test_band_labels(self):
+        p = ElasticPolicy(
+            (
+                IntensityBand(100.0, "gzip"),
+                IntensityBand(1000.0, "lzf"),
+                IntensityBand(float("inf"), None),
+            )
+        )
+        assert p.band_labels() == ["[0,100)", "[100,1000)", ">=1000"]
+
+    def test_band_labels_align_with_band_index(self):
+        p = ElasticPolicy()
+        labels = p.band_labels()
+        assert len(labels) == len(p.bands)
+        assert labels[p.band_index(0.0)].startswith("[0,")
+        assert labels[p.band_index(1e9)].startswith(">=")
+
     def test_uses_gate_by_default(self):
         assert ElasticPolicy().uses_gate
         assert not ElasticPolicy(gate=False).uses_gate

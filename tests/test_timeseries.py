@@ -163,8 +163,14 @@ class TestSparkline:
         assert len(out) == 10
         assert out[0] == "▁" and out[-1] == "█"
 
-    def test_flat_series(self):
-        assert sparkline([5.0, 5.0, 5.0], width=10) == "▁▁▁"
+    def test_flat_series_renders_midline(self):
+        # a constant series has no scale of its own: midline, not
+        # bottom-pinned (which reads as "zero")
+        assert sparkline([5.0, 5.0, 5.0], width=10) == "▄▄▄"
+        assert sparkline([0.0, 0.0], width=10) == "▄▄"
+
+    def test_single_sample_renders_midline(self):
+        assert sparkline([7.5], width=10) == "▄"
 
     def test_empty(self):
         assert sparkline([], width=10) == ""
