@@ -149,12 +149,30 @@ def _run_chaos(
     prom_dump: str | None = None,
     interval: float = 0.25,
 ) -> int:
-    """Replay one trace under a fault plan; non-zero exit on data loss."""
+    """Replay one trace under a fault plan; non-zero exit on data loss.
+
+    Plans that schedule ``power_loss`` events route to the crash-chaos
+    harness instead: the replay is cut at each instant, recovery is
+    scanned and verified, and the exit code encodes the verdict
+    (0 RECOVERED, 1 DATA-LOSS, 2 CORRUPTION).
+    """
     from repro.bench.chaos import run_chaos
     from repro.faults import FaultPlan
     from repro.telemetry import TimeSeriesSampler, render_exposition
 
     plan = FaultPlan.from_json(plan_path)
+    if plan.power_losses:
+        from repro.bench.crash import run_crash_chaos
+
+        print(f"crash chaos: replaying {trace_name} under {plan_path} "
+              f"({backend}, duration {duration:.0f}s, "
+              f"{len(plan.power_losses)} power cut(s))...")
+        crash_report = run_crash_chaos(
+            plan, trace_name=trace_name, backend=backend, duration=duration,
+        )
+        print()
+        print(crash_report.render())
+        return crash_report.exit_code
     sampler = TimeSeriesSampler(interval=interval)
     print(f"chaos: replaying {trace_name} under {plan_path} "
           f"({backend}, duration {duration:.0f}s)...")
@@ -233,7 +251,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--chaos", metavar="PLAN.json", default=None,
                         help="replay one trace under the JSON fault plan "
                              "and report recovered vs lost requests; "
-                             "exits 1 on any unrecovered data loss")
+                             "exits 1 on any unrecovered data loss. Plans "
+                             "with power_loss events run the crash-chaos "
+                             "harness instead (ssd backend only): exit 0 "
+                             "RECOVERED, 1 DATA-LOSS, 2 CORRUPTION")
     parser.add_argument("--chaos-trace", default="Fin1",
                         help="trace for --chaos (default Fin1)")
     parser.add_argument("--chaos-backend", default="rais5",

@@ -14,6 +14,12 @@ The harness is deliberately thin over
 schemes, the same traces — a chaos run with an **empty plan is
 bit-identical to the baseline replay**, which
 ``tests/test_faults.py`` locks in.
+
+Plans with ``power_losses`` do not run here: the CLI routes them to the
+crash-consistency harness in :mod:`repro.bench.crash`, which cuts the
+simulation mid-flight, runs the recovery scan, and verdicts
+RECOVERED / DATA-LOSS / CORRUPTION instead of the degraded-latency
+report below.
 """
 
 from __future__ import annotations

@@ -129,6 +129,7 @@ def replay(
     auditor=None,
     fault_plan=None,
     on_built=None,
+    recovery=None,
 ) -> ExperimentResult:
     """Replay ``trace`` under ``scheme`` and collect the result record.
 
@@ -160,6 +161,12 @@ def replay(
     accounting.  ``on_built`` is called with ``(sim, device, backend,
     devices)`` after construction but before the replay starts — the
     hook the chaos harness uses to install its own observers.
+
+    ``recovery`` optionally attaches a
+    :class:`~repro.recovery.DurableMetadataManager`: mapping metadata is
+    journaled and checkpointed in-band during the replay, so its write
+    amplification and device time include the durability overhead.
+    ``None`` (the default) keeps the replay bit-identical to the seed.
     """
     cfg = cfg if cfg is not None else ReplayConfig()
     sim = Simulator()
@@ -181,7 +188,7 @@ def replay(
     device = build_device(
         sim, scheme, backend, content,
         config=cfg.device_config, bands=bands, cost_model=cost_model,
-        telemetry=telemetry, auditor=auditor,
+        telemetry=telemetry, auditor=auditor, recovery=recovery,
     )
     if fault_plan is not None:
         for ssd in devices if devices is not None else [backend]:

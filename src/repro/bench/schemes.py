@@ -84,6 +84,7 @@ def build_device(
     cost_model: Optional[CodecCostModel] = None,
     telemetry=None,
     auditor=None,
+    recovery=None,
 ) -> EDCBlockDevice:
     """A ready-to-replay device running ``scheme`` over ``backend``.
 
@@ -91,11 +92,13 @@ def build_device(
     :class:`~repro.telemetry.Telemetry` for span tracing and the
     per-layer latency breakdown; ``auditor`` a
     :class:`~repro.telemetry.audit.DecisionAuditor` for the per-write
-    decision trail and shadow-policy counterfactuals.
+    decision trail and shadow-policy counterfactuals; ``recovery`` a
+    :class:`~repro.recovery.DurableMetadataManager` that journals and
+    checkpoints the mapping metadata in-band (crash consistency).
     """
     policy = build_policy(scheme, bands)
     cfg = scheme_config(scheme, config)
     return EDCBlockDevice(
         sim, backend, policy, content, cfg, cost_model=cost_model,
-        telemetry=telemetry, auditor=auditor,
+        telemetry=telemetry, auditor=auditor, recovery=recovery,
     )

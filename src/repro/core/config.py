@@ -67,6 +67,10 @@ class EDCConfig:
     charge_estimation_cost: bool = True
     verify_reads: bool = False
     store_payloads: bool = False
+    #: compute a CRC32 per logical block at write time, store it in the
+    #: mapping entry, and verify it on every read (end-to-end integrity;
+    #: also what the post-recovery scrub checks after a power cut)
+    crc_checks: bool = False
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:

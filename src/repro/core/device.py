@@ -65,6 +65,7 @@ class EDCBlockDevice:
         cost_model: Optional[CodecCostModel] = None,
         telemetry: Optional[Telemetry] = None,
         auditor=None,
+        recovery=None,
     ) -> None:
         self.sim = sim
         self.policy = policy
@@ -128,6 +129,13 @@ class EDCBlockDevice:
         self.auditor = auditor
         if auditor is not None:
             auditor.bind_device(self)
+
+        #: optional :class:`~repro.recovery.durable.DurableMetadataManager`;
+        #: ``None`` (the default) keeps metadata volatile — no journal or
+        #: checkpoint writes — and the replay bit-identical to the seed.
+        self.recovery = recovery
+        if recovery is not None:
+            recovery.bind_device(self)
 
     # ------------------------------------------------------------------
     # public API
@@ -276,22 +284,34 @@ class EDCBlockDevice:
             else None
         )
         rec = self.telemetry.write_run_planned(run, plan) if self._tp_req else None
+        vtuple = tuple(versions)
         if plan.cpu_time > 0:
             self.cpu.submit(
                 plan.cpu_time,
                 on_complete=lambda job: self._commit_write(
-                    run, plan, run_ids, rec, job, aev
+                    run, plan, run_ids, vtuple, rec, job, aev
                 ),
                 tag=("compress", start_blk),
             )
         else:
-            self._commit_write(run, plan, run_ids, rec, aev=aev)
+            self._commit_write(run, plan, run_ids, vtuple, rec, aev=aev)
+
+    def _block_crcs_for(self, run_ids: Tuple[int, ...]) -> Optional[Tuple[int, ...]]:
+        """Per-block content CRCs for a run, when ``crc_checks`` is on."""
+        if not self.config.crc_checks:
+            return None
+        from repro.recovery.formats import block_crcs
+
+        return block_crcs(
+            self.content.data_for_run(run_ids), self.config.block_size
+        )
 
     def _commit_write(
         self,
         run: PendingRun,
         plan: WritePlan,
         run_ids: Tuple[int, ...],
+        versions: Tuple[int, ...],
         rec: object = None,
         job: object = None,
         aev: object = None,
@@ -307,6 +327,7 @@ class EDCBlockDevice:
             tag=plan.tag,
             span=nblocks,
             original_size=plan.original_size,
+            crc=self._block_crcs_for(run_ids),
         )
         eid, shadowed = self.mapping.insert(entry)
         for old_id, _old_entry in shadowed:
@@ -315,6 +336,16 @@ class EDCBlockDevice:
             self._entry_meta.pop(old_id, None)
         cls = self.allocator.allocate(eid, plan.payload_size, plan.original_size)
         self._entry_meta[eid] = (run_ids, plan.codec_name)
+        if self.recovery is not None:
+            self.recovery.on_insert(
+                eid,
+                entry,
+                run_ids,
+                plan.codec_name,
+                versions,
+                tuple(old_id for old_id, _ in shadowed),
+                cls.nbytes,
+            )
         if aev is not None:
             self.auditor.on_commit(aev, cls)
         self.stats.note_write(
@@ -327,7 +358,7 @@ class EDCBlockDevice:
         )
         arrivals = list(run.arrivals)
 
-        def _device_done() -> None:
+        def _finish() -> None:
             now = self.sim.now
             for arrival in arrivals:
                 self.write_latency.add(now - arrival)
@@ -337,9 +368,17 @@ class EDCBlockDevice:
             if rec is not None:
                 self.telemetry.write_run_done(rec)
 
+        def _device_done() -> None:
+            # Program completed: only now does the extent's metadata
+            # become durable (journal + OOB) — a cut mid-program leaves
+            # nothing, which is what makes merged runs all-or-nothing.
+            if self.recovery is not None:
+                self.recovery.on_programmed(eid)
+            _finish()
+
         def _device_error(exc: BaseException) -> None:
             self.unrecovered_writes += 1
-            _device_done()
+            _finish()
 
         stream = 0
         if self.config.hot_cold_streams:
@@ -456,6 +495,13 @@ class EDCBlockDevice:
             dec = self.engine.decompress_time(codec_name, entry.original_size)
             if self.config.verify_reads:
                 self._verify_entry(run_ids, codec_name, entry, request)
+            if entry.crc is not None and self.config.crc_checks:
+                actual = self._block_crcs_for(run_ids)
+                if actual != entry.crc:
+                    raise IntegrityError(
+                        f"read of lba {request.lba}: stored block CRCs "
+                        f"{entry.crc} do not match content {actual}"
+                    )
             if dec > 0:
 
                 def _dec_done(job) -> None:
@@ -596,6 +642,7 @@ class EDCBlockDevice:
             tag=plan.tag,
             span=len(run_ids),
             original_size=plan.original_size,
+            crc=self._block_crcs_for(run_ids),
         )
         eid, shadowed = self.mapping.insert(entry)
         for old_id, _old in shadowed:
@@ -604,13 +651,27 @@ class EDCBlockDevice:
             self._entry_meta.pop(old_id, None)
         cls = self.allocator.allocate(eid, plan.payload_size, plan.original_size)
         self._entry_meta[eid] = (run_ids, plan.codec_name)
+        if self.recovery is not None:
+            # Defrag re-places existing content: versions are unchanged
+            # (the still_owned check above rules out newer committed data).
+            self.recovery.on_insert(
+                eid,
+                entry,
+                run_ids,
+                plan.codec_name,
+                tuple(self._versions[start_blk + i] for i in range(len(run_ids))),
+                tuple(old_id for old_id, _ in shadowed),
+                cls.nbytes,
+            )
 
         def _done() -> None:
+            if self.recovery is not None:
+                self.recovery.on_programmed(eid)
             self._outstanding -= 1
 
         def _error(exc: BaseException) -> None:
             self.unrecovered_writes += 1
-            _done()
+            self._outstanding -= 1
 
         self.distributer.write(
             eid, run.start_lba, cls.nbytes, lambda: _done(), on_error=_error

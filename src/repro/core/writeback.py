@@ -42,6 +42,9 @@ class BufferStats:
     flushed_blocks: int = 0
     watermark_flushes: int = 0
     timer_flushes: int = 0
+    #: most blocks ever acked-but-unflushed at once — the worst-case
+    #: volatile durability window a power cut could erase
+    acked_unflushed_peak: int = 0
 
 
 class WriteBackBuffer:
@@ -83,6 +86,24 @@ class WriteBackBuffer:
     def dirty_blocks(self) -> int:
         return len(self._dirty)
 
+    def unflushed_blocks(self) -> Dict[int, float]:
+        """Acked-but-unflushed block numbers with their buffering times.
+
+        This is the buffer's **durability window**: every block here was
+        acknowledged to the host but exists only in volatile DRAM, so a
+        power cut at this instant loses it *by design* (write-back
+        semantics), not through a recovery bug.  The chaos harness
+        snapshots it at the cut to separate ``lost_volatile`` from
+        ``lost_acked`` in the crash verdict.
+        """
+        return dict(self._dirty)
+
+    def oldest_unflushed_age(self, now: float) -> float:
+        """Age (seconds) of the oldest acked-but-unflushed block."""
+        if not self._dirty:
+            return 0.0
+        return now - min(self._dirty.values())
+
     def submit(self, request: IORequest) -> None:
         """Process one request arriving now (same contract as the device)."""
         if request.is_write:
@@ -104,6 +125,8 @@ class WriteBackBuffer:
                 self.stats.write_hits += 1
             self._dirty[blk] = now
         self.stats.buffered_writes += 1
+        if len(self._dirty) > self.stats.acked_unflushed_peak:
+            self.stats.acked_unflushed_peak = len(self._dirty)
         self.write_latency.add(_DRAM_ACCESS_S)
         self._arm_timer()
         if len(self._dirty) >= self.high_watermark * self.capacity_blocks:

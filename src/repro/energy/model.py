@@ -13,6 +13,13 @@ The trade-off the paper describes appears directly: compression adds
 CPU joules but removes device-active joules (smaller transfers, fewer
 GC erases); write-through of incompressible data removes the CPU cost
 without giving back device savings it never had.
+
+Durable-metadata overhead (crash consistency) needs no special case:
+journal flushes and checkpoint images are issued as real in-band device
+writes, so their service time is already inside the backends' busy time
+and lands in ``device_active_joules`` like any other write.
+:meth:`EnergyModel.metadata_joules` splits that share back out of the
+total for reporting.
 """
 
 from __future__ import annotations
@@ -123,4 +130,19 @@ class EnergyModel:
             cpu_busy_s=device.cpu.stats.busy_time,
             device_busy_s=[b.queue.stats.busy_time for b in backends],
             logical_bytes=device.stats.logical_bytes,
+        )
+
+    def metadata_joules(self, recovery) -> float:
+        """Active joules spent programming durable metadata in-band.
+
+        ``recovery`` is a
+        :class:`~repro.recovery.DurableMetadataManager`; its
+        ``meta_device_seconds`` is the device-occupancy time of journal
+        flushes and checkpoint images.  That time is already included
+        in :meth:`measure`'s ``device_active_joules`` (the writes go
+        through the ordinary queue), so this is a breakdown, not an
+        addition.
+        """
+        return (
+            recovery.stats.meta_device_seconds * self.params.device_active_w
         )

@@ -2,7 +2,8 @@
 
 A :class:`FaultPlan` declares what goes wrong (transient read faults,
 wear-coupled bit errors, program failures, latency spikes, scheduled
-whole-device failures) and the recovery knobs (retry budget, exponential
+whole-device failures, scheduled :class:`PowerLoss` cuts interpreted by
+the crash harness) and the recovery knobs (retry budget, exponential
 backoff, rebuild cadence); per-device :class:`FaultInjector` objects
 roll the seeded dice inside :class:`~repro.flash.ssd.SimulatedSSD`, and
 the layers above — the FTL's bad-block retirement, RAIS5's degraded
@@ -13,12 +14,14 @@ counts plus degraded-window latency percentiles.
 """
 
 from repro.faults.plan import (
+    PLAN_SCHEMA,
     DeviceFailedError,
     DeviceFailure,
     FaultError,
     FaultInjector,
     FaultPlan,
     FaultStats,
+    PowerLoss,
     ProgramFaultError,
     ReadFaultError,
 )
@@ -28,6 +31,8 @@ __all__ = [
     "FaultInjector",
     "FaultStats",
     "DeviceFailure",
+    "PowerLoss",
+    "PLAN_SCHEMA",
     "FaultError",
     "ReadFaultError",
     "ProgramFaultError",

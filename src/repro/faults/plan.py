@@ -15,7 +15,13 @@ go wrong in a replay:
 - **latency spikes** (``latency_spike_prob`` / ``latency_spike_s``)
   modelling internal housekeeping hiccups;
 - **scheduled whole-device failures** (:class:`DeviceFailure`) at fixed
-  simulation timestamps, the events a RAIS5 array must absorb.
+  simulation timestamps, the events a RAIS5 array must absorb;
+- **scheduled power losses** (:class:`PowerLoss`): the whole *host*
+  stops at an arbitrary simulated instant — every in-flight program,
+  journal tail and write-back buffer content is gone.  Power losses are
+  not injected by the per-device machinery here; the crash harness
+  (:mod:`repro.bench.crash`) interprets them by cutting the simulation
+  at ``at`` and driving recovery.
 
 Determinism is non-negotiable: every injector derives its RNG stream
 from ``seed`` and the device *name* (via CRC32, never ``hash()``), so a
@@ -48,10 +54,15 @@ __all__ = [
     "ProgramFaultError",
     "DeviceFailedError",
     "DeviceFailure",
+    "PowerLoss",
     "FaultStats",
     "FaultInjector",
     "FaultPlan",
+    "PLAN_SCHEMA",
 ]
+
+#: current fault-plan serialisation schema; bump on incompatible change.
+PLAN_SCHEMA = 1
 
 
 class FaultError(RuntimeError):
@@ -87,6 +98,23 @@ class DeviceFailure:
             raise ValueError(f"failure time must be non-negative: {self.at!r}")
         if not self.device:
             raise ValueError("failure needs a device name")
+
+
+@dataclass(frozen=True)
+class PowerLoss:
+    """One scheduled whole-host power cut at simulation time ``at``.
+
+    Interpreted by the crash harness (:mod:`repro.bench.crash`): the
+    simulation halts at ``at`` — in-flight device completions never
+    happen, the journal's volatile tail and the write-back buffer are
+    lost — and the device is rebuilt from its durable metadata.
+    """
+
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at <= 0:
+            raise ValueError(f"power-loss time must be positive: {self.at!r}")
 
 
 @dataclass
@@ -189,10 +217,37 @@ class FaultInjector:
         return self.plan.max_read_retries
 
 
+def _coerce_nested(value, cls, what: str):
+    """Build ``cls`` from ``value`` with precise unknown-key errors.
+
+    ``value`` may already be an instance of ``cls`` or a plain dict
+    (the JSON form).  Anything else — including a dict with keys the
+    dataclass does not define — is rejected with an error naming the
+    offending keys and the known ones, so a typo in a plan file fails
+    loudly instead of silently dropping a scheduled fault.
+    """
+    if isinstance(value, cls):
+        return value
+    if not isinstance(value, dict):
+        raise ValueError(
+            f"{what} must be a {cls.__name__} or mapping, got {type(value).__name__}"
+        )
+    known = {f.name for f in fields(cls)}
+    unknown = set(value) - known
+    if unknown:
+        raise ValueError(
+            f"unknown {what} keys {sorted(unknown)}; known: {sorted(known)}"
+        )
+    return cls(**value)
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """Seeded, declarative description of the faults one replay injects."""
 
+    #: serialisation schema version (see :data:`PLAN_SCHEMA`); plans
+    #: written by a future incompatible format are rejected on load
+    schema: int = PLAN_SCHEMA
     seed: int = 0
     #: per-attempt transient read-failure probability
     read_fault_prob: float = 0.0
@@ -212,6 +267,9 @@ class FaultPlan:
     retry_backoff_cap_s: float = 10e-3
     #: scheduled whole-device failures
     device_failures: Tuple[DeviceFailure, ...] = ()
+    #: scheduled whole-host power cuts (crash-consistency testing);
+    #: interpreted by the crash harness, not the per-device injectors
+    power_losses: Tuple[PowerLoss, ...] = ()
     #: delay between detecting a failed member and starting the rebuild
     rebuild_delay_s: float = 0.01
     #: stripe rows reconstructed per rebuild batch (rebuild I/O contends
@@ -219,6 +277,11 @@ class FaultPlan:
     rebuild_batch_rows: int = 8
 
     def __post_init__(self) -> None:
+        if self.schema != PLAN_SCHEMA:
+            raise ValueError(
+                f"unsupported fault-plan schema {self.schema!r}; "
+                f"this build reads schema {PLAN_SCHEMA}"
+            )
         for name in ("read_fault_prob", "program_fault_prob",
                      "latency_spike_prob"):
             v = getattr(self, name)
@@ -238,8 +301,15 @@ class FaultPlan:
         object.__setattr__(
             self, "device_failures",
             tuple(
-                f if isinstance(f, DeviceFailure) else DeviceFailure(**f)
+                _coerce_nested(f, DeviceFailure, "device-failure")
                 for f in self.device_failures
+            ),
+        )
+        object.__setattr__(
+            self, "power_losses",
+            tuple(
+                _coerce_nested(p, PowerLoss, "power-loss")
+                for p in self.power_losses
             ),
         )
 
@@ -259,6 +329,7 @@ class FaultPlan:
             and self.wear_ber_per_pe == 0.0
             and self.latency_spike_prob == 0.0
             and not self.device_failures
+            and not self.power_losses
         )
 
     @classmethod
@@ -282,6 +353,7 @@ class FaultPlan:
     def to_dict(self) -> Dict[str, object]:
         d = asdict(self)
         d["device_failures"] = [asdict(f) for f in self.device_failures]
+        d["power_losses"] = [asdict(p) for p in self.power_losses]
         return d
 
     def to_json(self, path: str) -> None:

@@ -16,6 +16,7 @@ fragmentation — the numbers behind the paper's space-efficiency results
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Hashable, Optional, Sequence, Tuple
 
@@ -214,6 +215,22 @@ class SizeClassAllocator:
     def live_payload_bytes(self) -> int:
         """Payload bytes inside live slots (excludes internal fragmentation)."""
         return sum(stored for _, stored in self._live.values())
+
+    def state_digest(self) -> str:
+        """Key-independent digest of the live slot population.
+
+        Hashes the sorted multiset of ``(slot_bytes, stored_payload)``
+        pairs plus the physical-byte counters, so a recovered allocator
+        can be compared with a from-scratch rebuild without the opaque
+        slot keys having to match.
+        """
+        h = hashlib.sha256()
+        pairs = sorted(
+            (cls.nbytes, stored) for cls, stored in self._live.values()
+        )
+        h.update(repr(pairs).encode())
+        h.update(repr(self.live_physical_bytes).encode())
+        return h.hexdigest()
 
     def class_histogram(self) -> Dict[float, int]:
         """Live slot count per class fraction (O(1): maintained counters)."""

@@ -27,6 +27,7 @@ converts :class:`FlashCost` into queueing service time.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Hashable, Optional
@@ -209,6 +210,18 @@ class ExtentFTL:
     def utilization(self) -> float:
         """Live bytes as a fraction of logical capacity."""
         return self._live_bytes / self.geometry.logical_bytes
+
+    def validity_digest(self) -> str:
+        """Digest of the per-block valid-byte vector (validity bitmap).
+
+        Replaying the same extent writes in the same order against a
+        fresh FTL reproduces the exact same placement, so a recovered
+        FTL and a from-scratch rebuild must digest equally.
+        """
+        h = hashlib.sha256()
+        h.update(repr(self._block_valid).encode())
+        h.update(repr(self._live_bytes).encode())
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     # write path

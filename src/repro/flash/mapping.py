@@ -17,6 +17,7 @@ overlay semantics used by compressed-extent filesystems.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -41,6 +42,11 @@ class MappingEntry:
     span: int = 1
     #: original (uncompressed) byte length represented by this entry
     original_size: int = 4096
+    #: optional per-covered-block CRC32 of the *uncompressed* content,
+    #: stored with the entry and verified on read / by the post-recovery
+    #: scrub (``EDCConfig.crc_checks``); ``None`` keeps the entry at its
+    #: paper-sized 12-byte footprint
+    crc: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if self.lba < 0:
@@ -53,6 +59,11 @@ class MappingEntry:
             raise ValueError(f"span must be >= 1: {self.span!r}")
         if self.original_size <= 0:
             raise ValueError(f"original_size must be positive: {self.original_size!r}")
+        if self.crc is not None and len(self.crc) != self.span:
+            raise ValueError(
+                f"crc needs one value per covered block "
+                f"(span {self.span}, got {len(self.crc)})"
+            )
 
     @property
     def is_compressed(self) -> bool:
@@ -169,6 +180,23 @@ class MappingTable:
     def metadata_bytes(self) -> int:
         """Approximate metadata footprint of the table."""
         return len(self._entries) * ENTRY_BYTES
+
+    def state_digest(self) -> str:
+        """Entry-id-independent digest of the logical mapping state.
+
+        Two tables whose every covered block resolves to an identical
+        entry (same placement fields, regardless of the internal ids)
+        digest equally — the comparison crash recovery uses to prove a
+        recovered table bit-identical to a from-scratch rebuild.
+        """
+        h = hashlib.sha256()
+        for blk in sorted(self._cover):
+            e = self._entries[self._cover[blk]]
+            h.update(
+                repr((blk, e.lba, e.size, e.tag, e.span,
+                      e.original_size, e.crc)).encode()
+            )
+        return h.hexdigest()
 
     def check_invariants(self) -> None:
         """Consistency between the entry map and the coverage index."""

@@ -110,6 +110,12 @@ class SimulatedSSD:
         #: whole-device failure flag — set by :meth:`fail_now`, after which
         #: every submission (and in-flight read completion) errors
         self.failed = False
+        #: per-page out-of-band area (crash recovery's back-pointers);
+        #: installed by
+        #: :meth:`repro.recovery.durable.DurableMetadataManager.bind_device`.
+        #: ``None`` means the device runs without durable metadata and a
+        #: power cut loses the whole mapping.
+        self.oob = None
 
     # ------------------------------------------------------------------
     # fault machinery

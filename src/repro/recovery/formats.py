@@ -1,0 +1,166 @@
+"""On-flash metadata record formats for crash recovery.
+
+Three durable structures make the EDC metadata crash-consistent:
+
+1. **Checkpoint images** — periodic full snapshots of the live mapping
+   (every programmed, unreclaimed :class:`ExtentRecord`) written as
+   metadata pages to the simulated flash.
+2. **Journal records** — a write-ahead journal of mapping/allocator
+   deltas appended in-band between checkpoints.  ``insert`` records
+   carry the full extent description; ``reclaim`` records name the
+   seqno of a fully-shadowed entry whose storage was freed.
+3. **OOB back-pointers** — per-extent out-of-band records written at
+   program time: ``(lba, span, tag, size, seqno)`` plus the content
+   identity the simulation needs to serve reads.  A full OOB scan
+   recovers entries whose journal record was still in the volatile
+   tail when power was cut.
+
+Every record carries a monotonically increasing **seqno** assigned at
+mapping-insert time; recovery resolves torn overlay entries with
+newest-seqno-wins, exactly like the runtime overlay semantics of
+:class:`~repro.flash.mapping.MappingTable`.
+
+Byte footprints build on the existing
+:data:`~repro.flash.mapping.ENTRY_BYTES` so the metadata overhead
+charged into write amplification matches the mapping table's own
+accounting.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.flash.mapping import ENTRY_BYTES
+
+__all__ = [
+    "ExtentRecord",
+    "JournalRecord",
+    "block_crcs",
+    "SEQNO_BYTES",
+    "JOURNAL_INSERT_BYTES",
+    "JOURNAL_RECLAIM_BYTES",
+    "OOB_RECORD_BYTES",
+    "CHECKPOINT_HEADER_BYTES",
+    "CHECKPOINT_ENTRY_BYTES",
+]
+
+#: 8-byte monotone sequence number attached to every durable record.
+SEQNO_BYTES = 8
+
+#: journal ``insert`` record: mapping entry fields + seqno + 4-byte CRC
+#: of the record itself (torn-append detection).
+JOURNAL_INSERT_BYTES = ENTRY_BYTES + SEQNO_BYTES + 4
+
+#: journal ``reclaim`` record: victim seqno + 1-byte kind + record CRC.
+JOURNAL_RECLAIM_BYTES = SEQNO_BYTES + 1 + 4
+
+#: per-extent OOB back-pointer programmed with the data:
+#: lba(8) span(2) tag(1) size(2) seqno(8) + block CRC(4).
+OOB_RECORD_BYTES = 25
+
+#: checkpoint image framing: magic, schema, next-seqno watermark,
+#: journal position watermark, entry count, image CRC.
+CHECKPOINT_HEADER_BYTES = 64
+
+#: one live entry inside a checkpoint image (entry fields + seqno).
+CHECKPOINT_ENTRY_BYTES = ENTRY_BYTES + SEQNO_BYTES
+
+
+def block_crcs(data: bytes, block_size: int) -> Tuple[int, ...]:
+    """CRC32 of each ``block_size`` slice of ``data`` (end-to-end check).
+
+    The device computes these at write time (when ``crc_checks`` is on)
+    and stores them in the mapping entry; the read path and the
+    post-recovery scrub recompute and compare.
+    """
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive: {block_size!r}")
+    return tuple(
+        zlib.crc32(data[off : off + block_size])
+        for off in range(0, len(data), block_size)
+    )
+
+
+@dataclass(frozen=True)
+class ExtentRecord:
+    """Durable description of one stored extent (entry + provenance).
+
+    ``versions`` are the per-block content generation counters and
+    ``run_ids`` the content-pool identities — what a real device reads
+    back from the data pages themselves; the simulation must carry them
+    in metadata because it never materialises data.  ``crc`` optionally
+    holds one CRC32 per covered logical block (end-to-end integrity).
+    """
+
+    seqno: int
+    lba: int
+    span: int
+    tag: int
+    size: int
+    original_size: int
+    versions: Tuple[int, ...]
+    run_ids: Tuple[int, ...]
+    codec_name: str
+    slot_bytes: int
+    crc: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.seqno < 1:
+            raise ValueError(f"seqno must be >= 1: {self.seqno!r}")
+        if self.span < 1:
+            raise ValueError(f"span must be >= 1: {self.span!r}")
+        if len(self.versions) != self.span or len(self.run_ids) != self.span:
+            raise ValueError(
+                f"versions/run_ids must have one element per covered block "
+                f"(span {self.span}, got {len(self.versions)}/{len(self.run_ids)})"
+            )
+        if self.crc is not None and len(self.crc) != self.span:
+            raise ValueError(
+                f"crc must have one value per covered block "
+                f"(span {self.span}, got {len(self.crc)})"
+            )
+        if self.slot_bytes <= 0:
+            raise ValueError(f"slot_bytes must be positive: {self.slot_bytes!r}")
+
+    def canonical(self) -> tuple:
+        """Stable tuple form used for fingerprinting recovered state."""
+        return (
+            self.seqno, self.lba, self.span, self.tag, self.size,
+            self.original_size, self.versions, self.run_ids,
+            self.codec_name, self.slot_bytes, self.crc,
+        )
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One append to the metadata journal.
+
+    ``kind`` is ``"insert"`` (``extent`` set) or ``"reclaim"``
+    (``victim_seqno`` set).  ``pos`` is the append position inside the
+    journal stream — checkpoints truncate by position, so a reclaim
+    record is never confused with the insert of the seqno it names.
+    """
+
+    pos: int
+    kind: str
+    extent: Optional[ExtentRecord] = None
+    victim_seqno: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind == "insert":
+            if self.extent is None:
+                raise ValueError("insert record needs an extent")
+        elif self.kind == "reclaim":
+            if self.victim_seqno is None:
+                raise ValueError("reclaim record needs a victim seqno")
+        else:
+            raise ValueError(f"unknown journal record kind: {self.kind!r}")
+
+    @property
+    def nbytes(self) -> int:
+        return (
+            JOURNAL_INSERT_BYTES if self.kind == "insert"
+            else JOURNAL_RECLAIM_BYTES
+        )

@@ -272,7 +272,11 @@ def bind_standard_metrics(sampler: TimeSeriesSampler, device) -> None:
     per-class slot occupancy, CPU/flash queue depths, GC collections and
     moved bytes, write amplification and the flash busy fraction.
     Audited devices additionally export ``audit.decisions`` and a
-    per-shadow ``audit.divergence_share`` family.
+    per-shadow ``audit.divergence_share`` family; devices with a bound
+    :class:`~repro.recovery.DurableMetadataManager` export the
+    ``recovery.*`` family (journal depth, checkpoint staleness,
+    metadata write overhead, and the last recovery scan's page reads,
+    replay length and recovered-entry counts).
     """
     sim = device.sim
     monitor = device.monitor
@@ -416,6 +420,49 @@ def bind_standard_metrics(sampler: TimeSeriesSampler, device) -> None:
             sampler.register(
                 "array.unrecovered",
                 lambda: float(astats.unrecovered_reads + astats.unrecovered_writes),
+            )
+
+    # Recovery vocabulary — only present when a DurableMetadataManager
+    # is bound (crash-consistency runs), so baseline scrapes and their
+    # exposition output are unchanged.
+    recovery = getattr(device, "recovery", None)
+    if recovery is not None:
+        sampler.register(
+            "recovery.journal_pending_records",
+            lambda: float(recovery.journal.pending_records),
+        )
+        sampler.register(
+            "recovery.journal_durable_records",
+            lambda: float(recovery.journal.durable_records),
+        )
+        sampler.register(
+            "recovery.checkpoint_staleness_s",
+            lambda: recovery.checkpoint_staleness_s,
+        )
+        sampler.register(
+            "recovery.meta_write_bytes",
+            lambda: float(recovery.stats.meta_write_bytes),
+        )
+        sampler.register(
+            "recovery.meta_device_seconds",
+            lambda: recovery.stats.meta_device_seconds,
+        )
+        sampler.register(
+            "recovery.live_extents",
+            lambda: float(len(recovery.live_records)),
+        )
+
+        def _last_recovery(name: str) -> Optional[float]:
+            rep = recovery.last_recovery
+            if rep is None:
+                return None
+            return float(getattr(rep, name))
+
+        for rname in ("scan_pages_read", "journal_replay_len",
+                      "oob_only_entries", "recovered_entries"):
+            sampler.register(
+                f"recovery.{rname}",
+                (lambda n=rname: _last_recovery(n)),
             )
 
     # Decision-audit vocabulary — only present on audited runs, so

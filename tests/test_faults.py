@@ -14,10 +14,12 @@ from repro.core.config import EDCConfig
 from repro.core.device import EDCBlockDevice
 from repro.core.policy import FixedPolicy
 from repro.faults import (
+    PLAN_SCHEMA,
     DeviceFailedError,
     DeviceFailure,
     FaultPlan,
     FaultStats,
+    PowerLoss,
     ReadFaultError,
 )
 from repro.flash.geometry import NandGeometry, x25e_like
@@ -68,6 +70,38 @@ class TestFaultPlan:
             {"device_failures": [{"at": 1.0, "device": "ssd0"}]}
         )
         assert plan.device_failures == (DeviceFailure(1.0, "ssd0"),)
+
+    def test_power_losses_round_trip_through_json(self, tmp_path):
+        plan = FaultPlan(
+            seed=11, power_losses=(PowerLoss(at=4.0), PowerLoss(at=9.0))
+        )
+        path = str(tmp_path / "crash.json")
+        plan.to_json(path)
+        loaded = FaultPlan.from_json(path)
+        assert loaded == plan
+        assert loaded.power_losses == (PowerLoss(4.0), PowerLoss(9.0))
+        assert not loaded.is_empty
+
+    def test_schema_field_serialised_and_enforced(self):
+        d = FaultPlan(seed=1).to_dict()
+        assert d["schema"] == PLAN_SCHEMA
+        assert FaultPlan.from_dict(d) == FaultPlan(seed=1)
+        with pytest.raises(ValueError, match="unsupported fault-plan schema"):
+            FaultPlan.from_dict({"schema": PLAN_SCHEMA + 1})
+
+    def test_unknown_nested_keys_rejected_with_precise_errors(self):
+        with pytest.raises(ValueError, match=r"power-loss keys \['att'\]"):
+            FaultPlan.from_dict({"power_losses": [{"att": 4.0}]})
+        with pytest.raises(ValueError, match=r"device-failure keys \['dev'\]"):
+            FaultPlan.from_dict({"device_failures": [{"at": 1.0, "dev": "x"}]})
+        with pytest.raises(ValueError, match="must be a PowerLoss or mapping"):
+            FaultPlan(power_losses=(4.0,))
+
+    def test_power_loss_time_must_be_positive(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            PowerLoss(at=0.0)
+        with pytest.raises(ValueError, match="must be positive"):
+            PowerLoss(at=-1.0)
 
     @pytest.mark.parametrize(
         "kwargs",
