@@ -141,6 +141,48 @@ def _run_breakdown(
             fp.close()
 
 
+def _run_cluster(
+    n_shards: int,
+    n_tenants: int,
+    max_requests: int,
+    with_metrics: bool = False,
+    series_dump: str | None = None,
+    prom_dump: str | None = None,
+    interval: float = 0.25,
+) -> int:
+    """Run the sharded fleet exhibit; non-zero exit on invariant failure."""
+    from repro.bench.cluster import run_cluster
+    from repro.telemetry import (
+        TimeSeriesSampler,
+        dump_timeseries_jsonl,
+        render_exposition,
+    )
+
+    sampler = (
+        TimeSeriesSampler(interval=interval)
+        if with_metrics or series_dump or prom_dump else None
+    )
+    print(f"cluster: {n_shards} shards x {n_tenants} tenants, "
+          f"{max_requests} requests/tenant, one live migration...")
+    report = run_cluster(
+        n_shards=n_shards, n_tenants=n_tenants,
+        max_requests=max_requests, sampler=sampler,
+    )
+    print()
+    print(report.render())
+    if series_dump:
+        with open(series_dump, "w", encoding="utf-8") as fp:
+            n = dump_timeseries_jsonl(sampler, fp)
+        print(f"\nwrote {n} series/marker lines to {series_dump}")
+    if prom_dump:
+        text = render_exposition(sampler=sampler)
+        with open(prom_dump, "w", encoding="utf-8") as fp:
+            fp.write(text)
+        print(f"wrote {len(text.splitlines())} exposition lines "
+              f"to {prom_dump}")
+    return report.exit_code
+
+
 def _run_chaos(
     plan_path: str,
     trace_name: str,
@@ -260,7 +302,32 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--chaos-backend", default="rais5",
                         choices=("ssd", "rais5"),
                         help="backend for --chaos (default rais5)")
+    parser.add_argument("--cluster", action="store_true",
+                        help="run the sharded multi-tenant fleet exhibit: "
+                             "consistent-hash routing, QoS admission, one "
+                             "live range migration under load; exits 1 on "
+                             "lost acked writes or SLO-accounting "
+                             "inconsistencies (--metrics adds the cluster.* "
+                             "time-series families, --series-dump/--prom-dump "
+                             "apply)")
+    parser.add_argument("--cluster-shards", type=int, default=4,
+                        help="shards in the --cluster fleet (default 4)")
+    parser.add_argument("--cluster-tenants", type=int, default=8,
+                        help="tenants in the --cluster fleet (default 8)")
+    parser.add_argument("--cluster-requests", type=int, default=1500,
+                        help="requests per tenant stream for --cluster "
+                             "(default 1500)")
     args = parser.parse_args(argv)
+    if args.cluster:
+        try:
+            return _run_cluster(
+                args.cluster_shards, args.cluster_tenants,
+                args.cluster_requests, with_metrics=args.metrics,
+                series_dump=args.series_dump, prom_dump=args.prom_dump,
+                interval=args.sample_interval,
+            )
+        except ValueError as exc:
+            parser.error(f"--cluster: {exc}")
     if args.chaos:
         try:
             return _run_chaos(

@@ -1,0 +1,219 @@
+"""The cluster exhibit: a sharded multi-tenant fleet under live migration.
+
+``python -m repro.bench --cluster`` stands up an N-shard fleet serving
+M tenants with mixed QoS contracts (cycled personalities: unlimited,
+tight-SLO throttled, batch, weighted), drives interleaved per-tenant
+traces through the cluster front door, forces one live range migration
+mid-run, and prints the fleet report: per-tenant admission/SLO
+accounting, per-shard occupancy and realised compression, migration
+traffic, and the lost-write invariant verdict.
+
+The run **fails** (non-zero exit from the CLI) when any acked write is
+lost, when a started migration does not complete, or when the SLO
+accounting is inconsistent — the same checks the CI cluster smoke job
+gates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cluster import (
+    ClusterOutcome,
+    ClusterReplayConfig,
+    ClusterReplayer,
+    Migration,
+    TenantSpec,
+    build_cluster,
+)
+from repro.traces.multitenant import TenantStream, make_tenant_streams
+
+__all__ = ["ClusterRunReport", "tenant_roster", "run_cluster"]
+
+
+def tenant_roster(n_tenants: int) -> List[TenantSpec]:
+    """M tenants with cycled QoS personalities (deterministic)."""
+    if n_tenants < 1:
+        raise ValueError(f"n_tenants must be >= 1: {n_tenants!r}")
+    specs: List[TenantSpec] = []
+    for i in range(n_tenants):
+        name = f"tenant{i}"
+        kind = i % 4
+        if kind == 0:    # interactive, unthrottled, tight SLO
+            specs.append(TenantSpec(name, slo=0.010))
+        elif kind == 1:  # throttled OLTP with a firm SLO
+            specs.append(TenantSpec(name, rate_iops=500.0, slo=0.020))
+        elif kind == 2:  # batch: heavily throttled, no SLO
+            specs.append(TenantSpec(name, rate_iops=200.0, burst=16.0))
+        else:            # premium: throttled but double-weight arbitration
+            specs.append(
+                TenantSpec(name, rate_iops=500.0, burst=64.0,
+                           weight=2.0, slo=0.015)
+            )
+    return specs
+
+
+@dataclass
+class ClusterRunReport:
+    """Outcome of one cluster exhibit run plus its pass/fail verdict."""
+
+    outcome: ClusterOutcome
+    streams: List[TenantStream]
+    migrations: List[Migration]
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def render(self) -> str:
+        out = self.outcome
+        lines: List[str] = []
+        lines.append(
+            f"cluster: {len(out.shards)} shards x {len(out.tenants)} tenants, "
+            f"{out.n_requests} requests, horizon {out.horizon:.2f}s"
+        )
+        lines.append("")
+        lines.append("tenant       workload  done   queued  p95 ms     SLO ms  viol")
+        by_tenant = {s.tenant: s.workload for s in self.streams}
+        for name in sorted(out.tenants):
+            t = out.tenants[name]
+            slo = f"{t.slo * 1e3:7.1f}" if t.slo is not None else "      -"
+            lines.append(
+                f"{name:<12} {by_tenant.get(name, '?'):<9} "
+                f"{t.completed:<6} {t.queued:<7} {t.p95_latency * 1e3:8.3f} "
+                f"{slo} {t.slo_violations:5d}"
+            )
+        lines.append("")
+        lines.append("shard    ranges  logical MB  physical MB  ratio  WA")
+        for name in sorted(out.shards):
+            s = out.shards[name]
+            c = s.capacity
+            lines.append(
+                f"{name:<8} {c.ranges:<7} {c.logical_bytes / 1e6:10.2f} "
+                f"{c.physical_bytes / 1e6:11.2f} {c.ratio:6.3f} "
+                f"{s.write_amplification:5.3f}"
+            )
+        lines.append("")
+        m = out.migration
+        lines.append(
+            f"migrations: {m.completed}/{m.started} completed, "
+            f"{m.copied_blocks} blocks copied "
+            f"({out.migration_bytes / 1e6:.2f} MB migration traffic, "
+            f"{out.stats.dual_writes} dual-writes), "
+            f"{m.skipped_dirty_blocks} dirty-skipped"
+        )
+        lines.append(
+            f"fleet: WA {out.fleet_wa:.3f}, imbalance {out.imbalance:.3f}, "
+            f"energy {out.energy.total_joules:.1f} J"
+        )
+        verdict = (
+            "OK: no lost acked writes, SLO accounting consistent"
+            if self.ok else "FAIL: " + "; ".join(self.failures)
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def run_cluster(
+    n_shards: int = 4,
+    n_tenants: int = 8,
+    max_requests: int = 1_500,
+    duration: Optional[float] = None,
+    capacity_mb: int = 64,
+    migrate_at: Optional[float] = None,
+    seed: int = 42,
+    sampler=None,
+) -> ClusterRunReport:
+    """Run the fleet exhibit: interleaved tenants + one live migration.
+
+    ``migrate_at`` (virtual seconds; defaults to 25 % of the earliest
+    stream's span) picks the heaviest range on the physically fullest
+    shard and migrates it to the emptiest — under full foreground load.
+    ``sampler`` optionally attaches a
+    :class:`~repro.telemetry.TimeSeriesSampler` via
+    :func:`~repro.telemetry.timeseries.bind_cluster_metrics`.
+    """
+    specs = tenant_roster(n_tenants)
+    fleet = build_cluster(
+        specs,
+        ClusterReplayConfig(n_shards=n_shards, capacity_mb=capacity_mb),
+    )
+    replayer = ClusterReplayer(fleet)
+    streams = make_tenant_streams(
+        [s.name for s in specs],
+        max_requests=max_requests,
+        duration=duration,
+        seed=seed,
+    )
+    for stream in streams:
+        replayer.schedule(stream.tenant, stream.trace)
+    if sampler is not None:
+        from repro.telemetry.timeseries import bind_cluster_metrics
+
+        bind_cluster_metrics(sampler, fleet)
+        sampler.start()
+
+    migrations: List[Migration] = []
+    span = min(s.trace.duration for s in streams if len(s.trace))
+    kick_at = migrate_at if migrate_at is not None else max(span * 0.25, 0.05)
+
+    def _kick() -> None:
+        if n_shards < 2:
+            return
+        pair = fleet.balancer.suggest()
+        if pair is not None:
+            src, dst = pair
+        else:  # balanced fleet: still exercise the machinery
+            snap = fleet.balancer.snapshot()
+            src = max(snap.values(), key=lambda s: (s.physical_bytes, s.name)).name
+            dst = min(snap.values(), key=lambda s: (s.physical_bytes, s.name)).name
+        if src == dst:
+            return
+        ridx = fleet.balancer.pick_range(src)
+        if ridx is None:
+            return
+        migrations.append(
+            fleet.orchestrator.migrate(ridx, dst)
+        )
+
+    fleet.sim.schedule_at(kick_at, _kick)
+    outcome = replayer.run()
+
+    failures: List[str] = []
+    if outcome.lost_writes:
+        failures.append(
+            f"{len(outcome.lost_writes)} acked writes lost "
+            f"(blocks {outcome.lost_writes[:5]}...)"
+        )
+    if n_shards >= 2 and not migrations:
+        failures.append("no migration was started")
+    for m in migrations:
+        if not m.done:
+            failures.append(
+                f"migration of range {m.range_idx} stuck in {m.state!r}"
+            )
+    for name, t in outcome.tenants.items():
+        if t.completed != t.submitted:
+            failures.append(
+                f"tenant {name}: {t.submitted} submitted but "
+                f"{t.completed} completed"
+            )
+        if t.slo_violations > t.completed:
+            failures.append(
+                f"tenant {name}: SLO accounting inconsistent "
+                f"({t.slo_violations} violations > {t.completed} completed)"
+            )
+        if t.slo is None and t.slo_violations:
+            failures.append(
+                f"tenant {name}: SLO violations recorded without an SLO"
+            )
+    return ClusterRunReport(
+        outcome=outcome, streams=streams,
+        migrations=migrations, failures=failures,
+    )

@@ -1,0 +1,52 @@
+"""The sharded multi-tenant cluster tier over EDC block devices.
+
+A simulated serving fleet in front of N independent
+:class:`~repro.core.device.EDCBlockDevice` + backend pairs, all on one
+virtual clock:
+
+- :mod:`repro.cluster.routing` — consistent-hash ring placement of LBA
+  ranges (virtual nodes, deterministic seed) behind a
+  :class:`~repro.cluster.routing.ClusterDistributer` front door;
+- :mod:`repro.cluster.tenants` — per-tenant namespaces, token-bucket
+  admission control and SLO-aware arbitration;
+- :mod:`repro.cluster.capacity` — realised-compression-aware occupancy
+  tracking and imbalance detection;
+- :mod:`repro.cluster.migration` — live range migration
+  (copy-then-cutover with a dual-write window);
+- :mod:`repro.cluster.fleet` — fleet assembly and the cluster replay
+  harness.
+"""
+
+from repro.cluster.capacity import CapacityBalancer, ShardCapacity
+from repro.cluster.fleet import (
+    ClusterFleet,
+    ClusterOutcome,
+    ClusterReplayConfig,
+    ClusterReplayer,
+    ShardReport,
+    TenantReport,
+    build_cluster,
+)
+from repro.cluster.migration import (
+    Migration,
+    MigrationOrchestrator,
+    MigrationStats,
+)
+from repro.cluster.routing import ClusterDistributer, ClusterStats, HashRing
+from repro.cluster.tenants import (
+    QoSScheduler,
+    TenantSpec,
+    TenantState,
+    TenantStats,
+    TokenBucket,
+)
+
+__all__ = [
+    "CapacityBalancer", "ShardCapacity",
+    "ClusterFleet", "ClusterOutcome", "ClusterReplayConfig",
+    "ClusterReplayer", "ShardReport", "TenantReport", "build_cluster",
+    "Migration", "MigrationOrchestrator", "MigrationStats",
+    "ClusterDistributer", "ClusterStats", "HashRing",
+    "QoSScheduler", "TenantSpec", "TenantState", "TenantStats",
+    "TokenBucket",
+]

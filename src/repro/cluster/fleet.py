@@ -1,0 +1,306 @@
+"""Fleet assembly and cluster replay harness.
+
+:func:`build_cluster` stands up N independent ``EDCBlockDevice`` +
+``SimulatedSSD`` pairs on **one** simulator (one virtual clock for the
+whole fleet) and wires the cluster tier over them: consistent-hash
+routing, QoS admission, capacity watching, and the migration
+orchestrator.  :class:`ClusterReplayer` then drives per-tenant traces
+through the front door and summarises the run as a
+:class:`ClusterOutcome`.
+
+Degenerate-fleet guarantee: a 1-shard / 1-unthrottled-tenant cluster
+adds *zero* simulation events and *zero* address translation beyond the
+single-device replay's own fold, so its decision stream and
+simulated-time metrics are bit-identical to
+:func:`repro.bench.experiments.replay` over the same trace — the
+cluster tier is pure plumbing until you give it something to arbitrate.
+The tier-1 test suite pins this equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.capacity import CapacityBalancer, ShardCapacity
+from repro.cluster.migration import MigrationOrchestrator, MigrationStats
+from repro.cluster.routing import ClusterDistributer, ClusterStats
+from repro.cluster.tenants import TenantSpec
+from repro.core.config import EDCConfig
+from repro.bench.schemes import build_device
+from repro.energy.model import EnergyModel, EnergyReport
+from repro.flash.geometry import NandTiming, X25E_TIMING, x25e_like
+from repro.flash.ssd import SimulatedSSD
+from repro.sdgen.datasets import ENTERPRISE_MIX
+from repro.sdgen.generator import ContentMix, ContentStore
+from repro.sim.engine import Simulator
+from repro.traces.model import Trace
+
+__all__ = [
+    "ClusterReplayConfig", "ClusterFleet", "TenantReport", "ShardReport",
+    "ClusterOutcome", "ClusterReplayer", "build_cluster",
+]
+
+
+@dataclass(frozen=True)
+class ClusterReplayConfig:
+    """Environment for one cluster run.
+
+    Defaults mirror :class:`~repro.bench.experiments.ReplayConfig` so
+    the degenerate 1-shard fleet reproduces the single-device replay
+    exactly: same geometry, same content population (per shard), same
+    namespace fold (``fold_fraction`` of one shard's logical bytes).
+    """
+
+    n_shards: int = 4
+    scheme: str = "EDC"
+    capacity_mb: int = 128
+    fold_fraction: float = 0.8
+    content_mix: ContentMix = field(default_factory=lambda: ENTERPRISE_MIX)
+    pool_blocks: int = 512
+    content_seed: int = 5
+    timing: NandTiming = field(default_factory=lambda: X25E_TIMING)
+    device_config: EDCConfig = field(default_factory=EDCConfig)
+    #: LBA range granularity of ring placement and migration
+    range_blocks: int = 256
+    vnodes: int = 64
+    ring_seed: int = 0
+    #: per-tenant namespace size; ``None`` derives the single-device fold
+    namespace_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1: {self.n_shards!r}")
+        if not 0 < self.fold_fraction <= 1:
+            raise ValueError(
+                f"fold_fraction must be in (0,1]: {self.fold_fraction!r}"
+            )
+
+    def resolved_namespace_bytes(self) -> int:
+        if self.namespace_bytes is not None:
+            return self.namespace_bytes
+        block = self.device_config.block_size
+        logical = x25e_like(self.capacity_mb).logical_bytes
+        folded = int(logical * self.fold_fraction)
+        return max(block, folded // block * block)
+
+
+@dataclass
+class ClusterFleet:
+    """Everything :func:`build_cluster` stands up, by layer."""
+
+    sim: Simulator
+    cluster: ClusterDistributer
+    orchestrator: MigrationOrchestrator
+    balancer: CapacityBalancer
+    devices: Dict[str, object]
+    backends: Dict[str, SimulatedSSD]
+    config: ClusterReplayConfig
+
+    def flush(self) -> None:
+        """Flush every shard's Sequentiality Detector tail."""
+        for dev in self.devices.values():
+            dev.flush()
+
+
+def build_cluster(
+    tenants: Sequence[TenantSpec],
+    cfg: Optional[ClusterReplayConfig] = None,
+    sim: Optional[Simulator] = None,
+) -> ClusterFleet:
+    """Stand up the shard fleet and its cluster tier on one clock."""
+    cfg = cfg if cfg is not None else ClusterReplayConfig()
+    sim = sim if sim is not None else Simulator()
+    geo = x25e_like(cfg.capacity_mb)
+    devices: Dict[str, object] = {}
+    backends: Dict[str, SimulatedSSD] = {}
+    for i in range(cfg.n_shards):
+        name = f"shard{i}"
+        ssd = SimulatedSSD(sim, name=name, geometry=geo, timing=cfg.timing)
+        content = ContentStore(
+            cfg.content_mix,
+            block_size=cfg.device_config.block_size,
+            pool_blocks=cfg.pool_blocks,
+            seed=cfg.content_seed,
+        )
+        devices[name] = build_device(
+            sim, cfg.scheme, ssd, content, config=cfg.device_config
+        )
+        backends[name] = ssd
+    cluster = ClusterDistributer(
+        sim, devices, tenants,
+        namespace_bytes=cfg.resolved_namespace_bytes(),
+        range_blocks=cfg.range_blocks,
+        vnodes=cfg.vnodes,
+        seed=cfg.ring_seed,
+    )
+    orchestrator = MigrationOrchestrator(cluster)
+    balancer = CapacityBalancer(cluster)
+    return ClusterFleet(
+        sim=sim, cluster=cluster, orchestrator=orchestrator,
+        balancer=balancer, devices=devices, backends=backends, config=cfg,
+    )
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """Per-tenant outcome of one cluster run."""
+
+    name: str
+    submitted: int
+    completed: int
+    queued: int
+    max_backlog: int
+    mean_latency: float
+    p95_latency: float
+    slo: Optional[float]
+    slo_violations: int
+
+    @property
+    def slo_violation_rate(self) -> float:
+        return self.slo_violations / self.completed if self.completed else 0.0
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Per-shard outcome: capacity view plus device-level accounting."""
+
+    capacity: ShardCapacity
+    compression_ratio: float
+    write_amplification: float
+    device_busy_s: float
+
+
+@dataclass(frozen=True)
+class ClusterOutcome:
+    """Summary of one completed cluster replay."""
+
+    n_requests: int
+    horizon: float
+    tenants: Dict[str, TenantReport]
+    shards: Dict[str, ShardReport]
+    stats: ClusterStats
+    migration: MigrationStats
+    #: total migration traffic: chunk copies + dual-write duplicates
+    migration_bytes: int
+    #: fleet write amplification, migration traffic included
+    fleet_wa: float
+    energy: EnergyReport
+    imbalance: float
+    #: acked-but-unmapped global blocks; non-empty means data loss
+    lost_writes: List[int]
+
+    @property
+    def total_slo_violations(self) -> int:
+        return sum(t.slo_violations for t in self.tenants.values())
+
+
+class ClusterReplayError(RuntimeError):
+    """Raised when a cluster replay finishes in an inconsistent state."""
+
+
+class ClusterReplayer:
+    """Drives per-tenant traces through the cluster front door."""
+
+    def __init__(self, fleet: ClusterFleet) -> None:
+        self.fleet = fleet
+        self._scheduled = 0
+
+    def schedule(self, tenant: str, trace: Trace) -> None:
+        """Schedule every request of ``trace`` for ``tenant``.
+
+        Requests carry tenant-local addresses; the cluster folds them
+        into the tenant's namespace at admission, exactly like the
+        single-device replay folds its trace.
+        """
+        cluster = self.fleet.cluster
+        cluster.scheduler.state(tenant)  # fail fast on unknown tenants
+        for req in trace:
+            self.fleet.sim.schedule_at(
+                req.time, lambda r=req, t=tenant: cluster.submit(r, t)
+            )
+        self._scheduled += len(trace)
+
+    def schedule_interleaved(
+        self, streams: Sequence[Tuple[str, Trace]]
+    ) -> None:
+        for tenant, trace in streams:
+            self.schedule(tenant, trace)
+
+    def run(self) -> ClusterOutcome:
+        """Run to completion (including SD tails) and summarise."""
+        fleet = self.fleet
+        sim, cluster = fleet.sim, fleet.cluster
+        sim.run()
+        fleet.flush()
+        sim.run()
+        leftover = cluster.outstanding + cluster.scheduler.backlog
+        if leftover:
+            raise ClusterReplayError(
+                f"{leftover} of {self._scheduled} requests never completed"
+            )
+        for name, dev in fleet.devices.items():
+            if dev.outstanding:
+                raise ClusterReplayError(
+                    f"shard {name} still has {dev.outstanding} requests"
+                )
+        return self._summarise(sim.now)
+
+    def _summarise(self, horizon: float) -> ClusterOutcome:
+        fleet = self.fleet
+        cluster = fleet.cluster
+        tenants: Dict[str, TenantReport] = {}
+        for name, st in cluster.scheduler.tenants.items():
+            tenants[name] = TenantReport(
+                name=name,
+                submitted=st.stats.submitted,
+                completed=st.stats.completed,
+                queued=st.stats.queued,
+                max_backlog=st.stats.max_backlog,
+                mean_latency=st.latency.mean(),
+                p95_latency=st.latency.percentile(95),
+                slo=st.spec.slo,
+                slo_violations=st.stats.slo_violations,
+            )
+        snap = fleet.balancer.snapshot()
+        shards: Dict[str, ShardReport] = {}
+        host_total = moved_total = 0
+        busy: List[float] = []
+        cpu_busy = 0.0
+        logical_total = 0
+        for name, dev in fleet.devices.items():
+            ssd = fleet.backends[name]
+            host = ssd.ftl.stats.host_bytes
+            moved = ssd.ftl.stats.relocated_bytes
+            host_total += host
+            moved_total += moved
+            busy.append(ssd.queue.stats.busy_time)
+            cpu_busy += dev.cpu.stats.busy_time
+            logical_total += dev.stats.logical_bytes
+            shards[name] = ShardReport(
+                capacity=snap[name],
+                compression_ratio=dev.stats.compression_ratio,
+                write_amplification=(host + moved) / host if host else 1.0,
+                device_busy_s=ssd.queue.stats.busy_time,
+            )
+        energy = EnergyModel().from_times(
+            horizon_s=horizon,
+            cpu_busy_s=min(cpu_busy, horizon),
+            device_busy_s=busy,
+            logical_bytes=logical_total,
+        )
+        return ClusterOutcome(
+            n_requests=self._scheduled,
+            horizon=horizon,
+            tenants=tenants,
+            shards=shards,
+            stats=cluster.stats,
+            migration=fleet.orchestrator.stats,
+            migration_bytes=fleet.orchestrator.migration_bytes(),
+            fleet_wa=(
+                (host_total + moved_total) / host_total if host_total else 1.0
+            ),
+            energy=energy,
+            imbalance=fleet.balancer.imbalance(snap),
+            lost_writes=cluster.check_no_lost_writes(),
+        )

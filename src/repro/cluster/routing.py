@@ -1,0 +1,475 @@
+"""Consistent-hash routing of LBA ranges across the shard fleet.
+
+The cluster's global logical address space is cut into fixed-size **LBA
+ranges** (``range_blocks`` logical blocks each); a :class:`HashRing`
+with virtual nodes maps every range to one shard.  Consistent hashing
+is what makes the fleet elastic: adding or removing a shard moves only
+~K/N of the K ranges, and the ring is seeded so placement is fully
+deterministic and reproducible across runs.
+
+:class:`ClusterDistributer` is the fleet analog of
+:class:`~repro.core.distributer.RequestDistributer` — the single point
+through which traffic reaches the shards.  It folds tenant-local
+addresses into per-tenant namespaces, admits requests through the
+:class:`~repro.cluster.tenants.QoSScheduler`, splits requests at range
+boundaries, routes each part to its owning shard's
+:class:`~repro.core.device.EDCBlockDevice`, and keeps fleet-level
+accounting (issued I/O, attempted vs. effective trims, acked-write
+blocks for the lost-write invariant).
+
+Routing honours two migration-time maps maintained by
+:class:`~repro.cluster.migration.MigrationOrchestrator`:
+
+- ``dual_writes``: ranges mid-migration — writes go to the source shard
+  (the ack authority) *and* are duplicated to the destination; reads
+  stay on the source.
+- ``overrides``: ranges whose cutover completed — they route to the
+  destination regardless of the ring until the ring itself is updated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.cluster.tenants import QoSScheduler, TenantSpec, TenantState
+from repro.sim.engine import Simulator
+from repro.traces.model import IORequest, READ, WRITE
+
+__all__ = ["HashRing", "ClusterStats", "ClusterDistributer"]
+
+
+class HashRing:
+    """Deterministic consistent-hash ring with virtual nodes."""
+
+    def __init__(
+        self, shards: Iterable[str], vnodes: int = 64, seed: int = 0
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1: {vnodes!r}")
+        names = list(shards)
+        if not names:
+            raise ValueError("ring needs at least one shard")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate shard names: {names}")
+        self.vnodes = vnodes
+        self.seed = seed
+        self._shards: List[str] = []
+        #: sorted (position, shard) ring points
+        self._points: List[Tuple[int, str]] = []
+        for name in names:
+            self.add_shard(name)
+
+    # ------------------------------------------------------------------
+    def _hash(self, text: str) -> int:
+        digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+    @property
+    def shards(self) -> Tuple[str, ...]:
+        return tuple(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    # ------------------------------------------------------------------
+    def add_shard(self, name: str) -> None:
+        if name in self._shards:
+            raise ValueError(f"shard {name!r} already on the ring")
+        self._shards.append(name)
+        for v in range(self.vnodes):
+            pos = self._hash(f"{self.seed}|shard|{name}|{v}")
+            insort(self._points, (pos, name))
+
+    def remove_shard(self, name: str) -> None:
+        if name not in self._shards:
+            raise ValueError(f"shard {name!r} not on the ring")
+        if len(self._shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        self._shards.remove(name)
+        self._points = [p for p in self._points if p[1] != name]
+
+    # ------------------------------------------------------------------
+    def shard_for(self, key: object) -> str:
+        """The shard owning ``key`` (first ring point at or after its hash)."""
+        h = self._hash(f"{self.seed}|key|{key}")
+        i = bisect_left(self._points, (h, ""))
+        if i == len(self._points):
+            i = 0
+        return self._points[i][1]
+
+    def share_of(self) -> Dict[str, float]:
+        """Fraction of hash space owned per shard (arc-length balance)."""
+        space = 1 << 64
+        shares: Dict[str, float] = {name: 0.0 for name in self._shards}
+        prev = self._points[-1][0] - space  # wraparound arc
+        for pos, name in self._points:
+            shares[name] += (pos - prev) / space
+            prev = pos
+        return shares
+
+
+@dataclass
+class ClusterStats:
+    """Fleet-level issued-I/O accounting (cluster analog of
+    :class:`~repro.core.distributer.DistributerStats`)."""
+
+    issued_writes: int = 0
+    issued_reads: int = 0
+    written_bytes: int = 0
+    read_bytes: int = 0
+    trims_attempted: int = 0
+    trims_effective: int = 0
+    #: requests split at a range boundary into multiple shard parts
+    split_requests: int = 0
+    #: duplicate writes issued to migration destinations (dual-write window)
+    dual_writes: int = 0
+    dual_write_bytes: int = 0
+
+
+class ClusterDistributer:
+    """Routes multi-tenant traffic onto N ``EDCBlockDevice`` shards."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        shards: Mapping[str, object],
+        tenants: Optional[Iterable[TenantSpec]] = None,
+        namespace_bytes: int = 1 << 27,
+        range_blocks: int = 256,
+        vnodes: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if not shards:
+            raise ValueError("cluster needs at least one shard")
+        self.sim = sim
+        self.shards: Dict[str, object] = dict(shards)
+        block_sizes = {dev.config.block_size for dev in self.shards.values()}
+        if len(block_sizes) != 1:
+            raise ValueError(f"shards disagree on block size: {block_sizes}")
+        self.block_size = block_sizes.pop()
+        if namespace_bytes < self.block_size or namespace_bytes % self.block_size:
+            raise ValueError(
+                f"namespace_bytes must be a positive multiple of the block "
+                f"size: {namespace_bytes!r}"
+            )
+        if range_blocks < 1:
+            raise ValueError(f"range_blocks must be >= 1: {range_blocks!r}")
+        for dev in self.shards.values():
+            if dev.sim is not sim:
+                raise ValueError("every shard must run on the cluster simulator")
+        self.namespace_bytes = namespace_bytes
+        self.range_blocks = range_blocks
+        self.ring = HashRing(self.shards, vnodes=vnodes, seed=seed)
+        self.scheduler = QoSScheduler(
+            sim,
+            list(tenants) if tenants is not None else [TenantSpec("default")],
+            self._dispatch,
+        )
+        self.stats = ClusterStats()
+        #: range index -> shard name, installed at migration cutover
+        self.overrides: Dict[int, str] = {}
+        #: range index -> (source, destination) during a dual-write window
+        self.dual_writes: Dict[int, Tuple[str, str]] = {}
+        #: migration hook: called with the block numbers of every
+        #: foreground write duplicated during a dual-write window
+        self.on_dual_write: Optional[Callable[[List[int]], None]] = None
+        #: id(request part) -> (part, completion callback)
+        self._inflight: Dict[int, Tuple[IORequest, Callable]] = {}
+        #: registered parts in flight per range index (migration quiesce)
+        self._range_parts: Dict[int, Set[int]] = {}
+        #: [pending part-id set, callback] barriers (see :meth:`when_drained`)
+        self._drain_waiters: List[list] = []
+        #: global block numbers with at least one acked (completed) write
+        self._acked_blocks: Set[int] = set()
+        #: id(globalized request) -> user completion callback
+        self._user_done: Dict[int, Callable[[], None]] = {}
+        for dev in self.shards.values():
+            dev.on_request_complete = self._request_completed
+
+    # ------------------------------------------------------------------
+    # addressing & routing
+    # ------------------------------------------------------------------
+    @property
+    def range_bytes(self) -> int:
+        return self.range_blocks * self.block_size
+
+    def range_of(self, lba: int) -> int:
+        return lba // self.range_bytes
+
+    def owner_of(self, range_idx: int) -> str:
+        """Current owner of a range: cutover override, else the ring."""
+        override = self.overrides.get(range_idx)
+        if override is not None:
+            return override
+        return self.ring.shard_for(range_idx)
+
+    def tenant_index(self, tenant: str) -> int:
+        return self.scheduler.state(tenant).index
+
+    def globalize(self, tenant: str, request: IORequest) -> IORequest:
+        """Fold a tenant-local request into the tenant's global namespace.
+
+        The fold mirrors :meth:`~repro.traces.model.Trace.scaled_addresses`
+        exactly (modulo on block granularity, size clamped at the
+        namespace end), so a 1-tenant cluster sees the very addresses a
+        single-device replay of the folded trace would.
+        """
+        bs = self.block_size
+        nblocks = self.namespace_bytes // bs
+        blk = (request.lba // bs) % nblocks
+        nbytes = min(request.nbytes, self.namespace_bytes - blk * bs)
+        lba = self.tenant_index(tenant) * self.namespace_bytes + blk * bs
+        return IORequest(request.time, request.op, lba, nbytes)
+
+    def ranges_covered(self, lba: int, nbytes: int) -> range:
+        rb = self.range_bytes
+        return range(lba // rb, (lba + nbytes - 1) // rb + 1)
+
+    def _split(self, request: IORequest) -> Tuple[IORequest, ...]:
+        """Cut a global request at range boundaries — only when needed.
+
+        A request whose covered ranges all live on one shard with no
+        open dual-write window is routed whole: splitting it would
+        change the device-level request stream (and thus latencies) the
+        single-device replay produces, breaking the degenerate-fleet
+        bit-identity guarantee.
+        """
+        covered = self.ranges_covered(request.lba, request.nbytes)
+        if len(covered) == 1:
+            return (request,)
+        owners = {self.owner_of(r) for r in covered}
+        if len(owners) == 1 and not any(r in self.dual_writes for r in covered):
+            return (request,)
+        rb = self.range_bytes
+        parts: List[IORequest] = []
+        lba, remaining = request.lba, request.nbytes
+        while remaining > 0:
+            n = min(remaining, (lba // rb + 1) * rb - lba)
+            parts.append(IORequest(request.time, request.op, lba, n))
+            lba += n
+            remaining -= n
+        return tuple(parts)
+
+    # ------------------------------------------------------------------
+    # public API (RequestDistributer-style verbs over the fleet)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: IORequest,
+        tenant: str = "default",
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Admit one tenant-local request arriving *now*."""
+        g = self.globalize(tenant, request)
+        if on_complete is not None:
+            self._user_done[id(g)] = on_complete
+        self.scheduler.submit(tenant, g)
+
+    def write(
+        self,
+        tenant: str,
+        lba: int,
+        nbytes: int,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Issue a tenant write of ``nbytes`` at tenant-local ``lba``."""
+        self.submit(
+            IORequest(self.sim.now, WRITE, lba, nbytes), tenant, on_complete
+        )
+
+    def read(
+        self,
+        tenant: str,
+        lba: int,
+        nbytes: int,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Fetch ``nbytes`` of tenant data at tenant-local ``lba``."""
+        self.submit(
+            IORequest(self.sim.now, READ, lba, nbytes), tenant, on_complete
+        )
+
+    def trim(self, tenant: str, lba: int, nbytes: int) -> int:
+        """Discard the tenant's blocks in ``[lba, lba + nbytes)``.
+
+        Routed to the owning shard(s) and applied immediately (trims
+        bypass admission: they release capacity, they don't consume
+        it).  Returns the number of blocks that were actually mapped.
+        """
+        g = self.globalize(
+            tenant, IORequest(self.sim.now, WRITE, lba, max(1, nbytes))
+        )
+        self.stats.trims_attempted += 1
+        unmapped = 0
+        bs = self.block_size
+        for part in self._split(IORequest(g.time, g.op, g.lba, nbytes)):
+            ridx = self.range_of(part.lba)
+            targets = [self.owner_of(ridx)]
+            window = self.dual_writes.get(ridx)
+            if window is not None:
+                targets = [t for t in window if t not in targets] + targets
+                if self.on_dual_write is not None:
+                    # Trimmed blocks are "dirty" too: the migration copy
+                    # must not resurrect them on the destination.
+                    self.on_dual_write(
+                        list(range(part.lba // bs,
+                                   (part.lba + part.nbytes + bs - 1) // bs))
+                    )
+            for name in targets:
+                unmapped += self.shards[name].discard(part.lba, part.nbytes)
+            start = part.lba // bs
+            self._acked_blocks.difference_update(
+                range(start, (part.lba + part.nbytes + bs - 1) // bs)
+            )
+        if unmapped:
+            self.stats.trims_effective += 1
+        return unmapped
+
+    # ------------------------------------------------------------------
+    # dispatch (the scheduler's sink)
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self, st: TenantState, request: IORequest, arrival: float
+    ) -> None:
+        parts = self._split(request)
+        if len(parts) > 1:
+            self.stats.split_requests += 1
+        if request.is_write:
+            self.stats.issued_writes += 1
+            self.stats.written_bytes += request.nbytes
+        else:
+            self.stats.issued_reads += 1
+            self.stats.read_bytes += request.nbytes
+        bs = self.block_size
+        remaining = [len(parts)]
+
+        def _part_done(part: IORequest, _latency: float) -> None:
+            if part.is_write:
+                start = part.lba // bs
+                end = (part.lba + part.nbytes + bs - 1) // bs
+                self._acked_blocks.update(range(start, end))
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                self.scheduler.note_complete(st, arrival)
+                user_cb = self._user_done.pop(id(request), None)
+                if user_cb is not None:
+                    user_cb()
+
+        for part in parts:
+            ridx = self.range_of(part.lba)
+            window = self.dual_writes.get(ridx)
+            if window is not None and part.is_write:
+                src, dst = window
+                # Duplicate to the migration destination; the source
+                # remains the ack authority, so the copy is fire-and-
+                # forget (unregistered: its completion is ignored).
+                dup = IORequest(part.time, part.op, part.lba, part.nbytes)
+                self.stats.dual_writes += 1
+                self.stats.dual_write_bytes += part.nbytes
+                if self.on_dual_write is not None:
+                    start = part.lba // bs
+                    end = (part.lba + part.nbytes + bs - 1) // bs
+                    self.on_dual_write(list(range(start, end)))
+                self.shards[dst].submit(dup)
+                owner = src
+            elif window is not None:
+                owner = window[0]  # reads stay on the source until cutover
+            else:
+                owner = self.owner_of(ridx)
+            self._inflight[id(part)] = (part, _part_done)
+            for r in self.ranges_covered(part.lba, part.nbytes):
+                self._range_parts.setdefault(r, set()).add(id(part))
+            self.shards[owner].submit(part)
+
+    # ------------------------------------------------------------------
+    # completion plumbing
+    # ------------------------------------------------------------------
+    def _request_completed(self, request: IORequest, latency: float) -> None:
+        entry = self._inflight.get(id(request))
+        if entry is None or entry[0] is not request:
+            return  # dual-write duplicate or migration-internal request
+        del self._inflight[id(request)]
+        part, cb = entry
+        for r in self.ranges_covered(part.lba, part.nbytes):
+            ids = self._range_parts.get(r)
+            if ids is not None:
+                ids.discard(id(part))
+        cb(part, latency)
+        if self._drain_waiters:
+            rid = id(request)
+            fired = []
+            for waiter in self._drain_waiters:
+                waiter[0].discard(rid)
+                if not waiter[0]:
+                    fired.append(waiter)
+            for waiter in fired:
+                self._drain_waiters.remove(waiter)
+                waiter[1]()
+
+    def register_internal(
+        self,
+        request: IORequest,
+        on_complete: Callable[[IORequest, float], None],
+    ) -> None:
+        """Track a cluster-internal request (migration copy I/O).
+
+        The request must then be submitted straight to a shard device;
+        its completion routes to ``on_complete`` without touching tenant
+        stats or the acked-write set.
+        """
+        self._inflight[id(request)] = (request, on_complete)
+
+    def inflight_in(self, ranges: Iterable[int]) -> Set[int]:
+        """Ids of registered parts currently in flight to ``ranges``."""
+        out: Set[int] = set()
+        for ridx in ranges:
+            out |= self._range_parts.get(ridx, set())
+        return out
+
+    def when_drained(
+        self, part_ids: Set[int], callback: Callable[[], None]
+    ) -> None:
+        """Call ``callback`` once every id in ``part_ids`` has completed.
+
+        The migration quiesce barrier: fires immediately (deferred one
+        event) when the set is already empty.
+        """
+        pending = set(part_ids) & set(self._inflight)
+        if not pending:
+            self.sim.defer(callback)
+            return
+        self._drain_waiters.append([pending, callback])
+
+    # ------------------------------------------------------------------
+    # invariants & reporting
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Registered requests submitted but not yet completed."""
+        return len(self._inflight)
+
+    @property
+    def acked_write_blocks(self) -> int:
+        return len(self._acked_blocks)
+
+    def check_no_lost_writes(self) -> List[int]:
+        """Global block numbers acked as written but no longer mapped.
+
+        Every completed (acked) write's blocks must resolve on the shard
+        that currently owns their range — through any number of
+        migrations.  An empty list is the cluster's durability
+        invariant; anything else is a lost acked write.
+        """
+        bs = self.block_size
+        lost: List[int] = []
+        for blk in sorted(self._acked_blocks):
+            owner = self.owner_of(self.range_of(blk * bs))
+            if self.shards[owner].mapping.lookup(blk * bs) is None:
+                lost.append(blk)
+        return lost
+
+    def shard_names(self) -> Tuple[str, ...]:
+        return tuple(self.shards)

@@ -107,6 +107,16 @@ class EDCBlockDevice:
         self.unrecovered_reads = 0
         self.unrecovered_writes = 0
 
+        #: optional per-request completion hook ``(request, latency) ->
+        #: None`` called once when a submitted request fully completes
+        #: (all read pieces done / the merged write run programmed).
+        #: The cluster tier uses it for per-tenant latency attribution;
+        #: ``None`` (the default) keeps the hot path untouched and the
+        #: replay bit-identical.  It fires inside existing completion
+        #: events and never schedules, so attaching it cannot perturb
+        #: simulated time.
+        self.on_request_complete = None
+
         #: per-block content version counters (bumped on every overwrite)
         self._versions: Dict[int, int] = defaultdict(int)
         #: entry id -> (content run ids, codec name) for reads/verification
@@ -357,12 +367,16 @@ class EDCBlockDevice:
             merged=nblocks > 1,
         )
         arrivals = list(run.arrivals)
+        refs = list(run.refs)
 
         def _finish() -> None:
             now = self.sim.now
-            for arrival in arrivals:
+            hook = self.on_request_complete
+            for i, arrival in enumerate(arrivals):
                 self.write_latency.add(now - arrival)
                 self._outstanding -= 1
+                if hook is not None and i < len(refs) and refs[i] is not None:
+                    hook(refs[i], now - arrival)
             if aev is not None:
                 self.auditor.on_complete(aev, rec)
             if rec is not None:
@@ -427,6 +441,8 @@ class EDCBlockDevice:
                 self._outstanding -= 1
                 if rrec is not None:
                     self.telemetry.read_done(rrec)
+                if self.on_request_complete is not None:
+                    self.on_request_complete(request, self.sim.now - arrival)
 
         for piece in pieces:
             self._issue_read_piece(piece, request, _piece_done, rrec)
@@ -544,6 +560,38 @@ class EDCBlockDevice:
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
+    def discard(self, lba: int, nbytes: int) -> int:
+        """Drop the mappings covering ``[lba, lba + nbytes)`` (block-level trim).
+
+        Every covered block is unmapped; entries whose blocks all died
+        are freed from the allocator and trimmed on the backend, exactly
+        like shadowing by an overwrite.  Entries only partially inside
+        the range keep their storage until their remaining blocks die
+        (overlay semantics).  Returns the number of blocks that were
+        actually mapped — the caller's *effective* trim count.
+
+        Discards are metadata-only and instantaneous (no device time is
+        charged, matching :meth:`RequestDistributer.trim`).  They are
+        not journaled, so a device with a bound
+        :class:`~repro.recovery.DurableMetadataManager` refuses them.
+        """
+        if self.recovery is not None:
+            raise RuntimeError(
+                "discard is not journaled; detach the recovery manager first"
+            )
+        lba, nbytes = self._align(lba, nbytes)
+        bs = self.config.block_size
+        unmapped = 0
+        for blk in range(lba // bs, (lba + nbytes) // bs):
+            if self.mapping.lookup(blk * bs) is None:
+                continue
+            unmapped += 1
+            for eid, _entry in self.mapping.remove(blk * bs):
+                self.allocator.free(eid)
+                self.distributer.trim(eid)
+                self._entry_meta.pop(eid, None)
+        return unmapped
+
     def defragment(
         self,
         max_entries: int = 64,

@@ -24,7 +24,15 @@ class DistributerStats:
     issued_reads: int = 0
     written_bytes: int = 0
     read_bytes: int = 0
-    trims: int = 0
+    #: trims issued to the backend, whether or not an extent existed
+    trims_attempted: int = 0
+    #: trims the backend confirmed invalidated a stored extent
+    trims_effective: int = 0
+
+    @property
+    def trims(self) -> int:
+        """Legacy alias for :attr:`trims_attempted`."""
+        return self.trims_attempted
 
 
 class RequestDistributer:
@@ -90,6 +98,15 @@ class RequestDistributer:
             self.backend.submit_read(lba, nbytes, on_complete=on_complete, key=key)
 
     def trim(self, key: Hashable) -> bool:
-        """Invalidate the backend extent of an evicted mapping entry."""
-        self.stats.trims += 1
-        return self.backend.trim(key)
+        """Invalidate the backend extent of an evicted mapping entry.
+
+        A no-op trim (the backend had nothing stored under ``key``) is
+        counted as *attempted* only; cluster-level capacity accounting
+        relies on :attr:`DistributerStats.trims_effective` reflecting
+        real invalidations exactly.
+        """
+        self.stats.trims_attempted += 1
+        effective = bool(self.backend.trim(key))
+        if effective:
+            self.stats.trims_effective += 1
+        return effective

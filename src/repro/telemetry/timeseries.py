@@ -31,6 +31,7 @@ __all__ = [
     "MarkerSeries",
     "TimeSeriesSampler",
     "bind_standard_metrics",
+    "bind_cluster_metrics",
     "dump_timeseries_jsonl",
 ]
 
@@ -477,6 +478,73 @@ def bind_standard_metrics(sampler: TimeSeriesSampler, device) -> None:
             auditor.divergence_shares,
             label_key="shadow",
         )
+
+
+def bind_cluster_metrics(sampler: TimeSeriesSampler, fleet) -> None:
+    """Register the ``cluster.*`` fleet vocabulary for one cluster run.
+
+    ``fleet`` is a :class:`~repro.cluster.fleet.ClusterFleet`.  Binds
+    the sampler to the fleet's simulator (no single device: the fleet
+    is the subject) and registers per-shard depth/occupancy/ratio
+    families (``shard`` label), per-tenant backlog/p95/SLO-violation
+    families (``tenant`` label), and scalar fleet series — admission
+    backlog, physical imbalance, active migrations and cumulative
+    migration bytes.  Call :meth:`TimeSeriesSampler.start` afterwards.
+    """
+    sampler.sim = fleet.sim
+    cluster = fleet.cluster
+    devices = dict(fleet.devices)
+
+    sampler.register_multi(
+        "cluster.shard_depth",
+        lambda: {n: float(d.outstanding) for n, d in devices.items()},
+        label_key="shard",
+    )
+    sampler.register_multi(
+        "cluster.shard_physical_bytes",
+        lambda: {
+            n: float(d.allocator.physical_bytes) for n, d in devices.items()
+        },
+        label_key="shard",
+    )
+    sampler.register_multi(
+        "cluster.shard_ratio",
+        lambda: {n: d.stats.compression_ratio for n, d in devices.items()},
+        label_key="shard",
+    )
+    tenants = cluster.scheduler.tenants
+    sampler.register_multi(
+        "cluster.tenant_backlog",
+        lambda: {n: float(len(st.backlog)) for n, st in tenants.items()},
+        label_key="tenant",
+    )
+    sampler.register_multi(
+        "cluster.tenant_p95",
+        lambda: {
+            n: st.latency.percentile(95)
+            for n, st in tenants.items() if st.latency.count
+        },
+        label_key="tenant",
+    )
+    sampler.register_multi(
+        "cluster.tenant_slo_violations",
+        lambda: {
+            n: float(st.stats.slo_violations) for n, st in tenants.items()
+        },
+        label_key="tenant",
+    )
+    sampler.register(
+        "cluster.backlog", lambda: float(cluster.scheduler.backlog)
+    )
+    sampler.register("cluster.imbalance", fleet.balancer.imbalance)
+    sampler.register(
+        "cluster.migrations_active",
+        lambda: float(len(fleet.orchestrator.active)),
+    )
+    sampler.register(
+        "cluster.migration_bytes",
+        lambda: float(fleet.orchestrator.migration_bytes()),
+    )
 
 
 def _flash_servers(backend) -> List[object]:

@@ -1,0 +1,166 @@
+"""Tests for live shard migration: dual writes, cutover, invariants."""
+
+import pytest
+
+from repro.cluster import TenantSpec
+from repro.cluster.migration import MigrationError
+
+from tests.test_cluster_routing import build_fleet, run_all
+
+BS = 4096
+
+
+def populate(fleet, blocks, tenant="t0"):
+    for blk in blocks:
+        fleet.cluster.write(tenant, blk * BS, BS)
+    run_all(fleet)
+
+
+class TestQuietMigration:
+    def test_range_moves_and_source_drains(self):
+        fleet = build_fleet(n_shards=2)
+        c = fleet.cluster
+        populate(fleet, range(8))  # range 0 (64 blocks/range)
+        src = c.owner_of(0)
+        dst = next(n for n in c.shards if n != src)
+        done = []
+        fleet.orchestrator.migrate(0, dst, on_done=done.append)
+        run_all(fleet)
+        m = done[0]
+        assert m.done and m.src == src and m.dst == dst
+        assert m.copied_blocks == 8
+        assert c.overrides[0] == dst
+        assert 0 not in c.dual_writes
+        assert c.owner_of(0) == dst
+        # source range fully reclaimed, destination serves the data
+        src_dev, dst_dev = c.shards[src], c.shards[dst]
+        for blk in range(8):
+            assert src_dev.mapping.lookup(blk * BS) is None
+            assert dst_dev.mapping.lookup(blk * BS) is not None
+        assert c.check_no_lost_writes() == []
+        assert fleet.orchestrator.stats.discarded_source_blocks == 8
+
+    def test_reads_after_cutover_served_by_destination(self):
+        fleet = build_fleet(n_shards=2)
+        c = fleet.cluster
+        populate(fleet, range(4))
+        dst = next(n for n in c.shards if n != c.owner_of(0))
+        fleet.orchestrator.migrate(0, dst)
+        run_all(fleet)
+        reads_before = c.shards[dst].distributer.stats.issued_reads
+        done = []
+        c.read("t0", 0, 4 * BS, on_complete=lambda: done.append(True))
+        run_all(fleet)
+        assert done == [True]
+        assert c.shards[dst].distributer.stats.issued_reads > reads_before
+
+    def test_migration_charged_into_device_accounting(self):
+        fleet = build_fleet(n_shards=2)
+        c = fleet.cluster
+        populate(fleet, range(8))
+        src = c.owner_of(0)
+        dst = next(n for n in c.shards if n != src)
+        host_before = fleet.backends[dst].ftl.stats.host_bytes
+        busy_before = fleet.backends[dst].queue.stats.busy_time
+        fleet.orchestrator.migrate(0, dst)
+        run_all(fleet)
+        # copy writes land in the destination FTL's host bytes (WA) and
+        # occupy its queue (energy) exactly like GC-style traffic
+        assert fleet.backends[dst].ftl.stats.host_bytes > host_before
+        assert fleet.backends[dst].queue.stats.busy_time > busy_before
+        assert fleet.orchestrator.migration_bytes() == 8 * BS
+
+
+class TestLiveMigration:
+    def test_foreground_writes_during_window_not_lost(self):
+        fleet = build_fleet(n_shards=2)
+        c = fleet.cluster
+        populate(fleet, range(32))
+        src = c.owner_of(0)
+        dst = next(n for n in c.shards if n != src)
+        done = []
+        # keep writing into the migrating range while the copy runs
+        def kick():
+            fleet.orchestrator.migrate(0, dst, on_done=done.append)
+            for i in range(16):
+                c.sim.schedule_at(
+                    c.sim.now + i * 1e-4,
+                    lambda blk=i: c.write("t0", blk * BS, BS),
+                )
+        c.sim.schedule_at(c.sim.now, kick)
+        run_all(fleet)
+        m = done[0]
+        assert m.done
+        assert c.stats.dual_writes > 0  # window saw foreground traffic
+        assert m.skipped_dirty + m.copied_blocks <= 32
+        assert c.check_no_lost_writes() == []
+        # every overwritten block must resolve on the destination
+        for blk in range(16):
+            assert c.shards[dst].mapping.lookup(blk * BS) is not None
+
+    def test_dirty_blocks_skipped_not_resurrected(self):
+        fleet = build_fleet(n_shards=2)
+        c = fleet.cluster
+        populate(fleet, range(4))
+        src = c.owner_of(0)
+        dst = next(n for n in c.shards if n != src)
+        done = []
+        def kick():
+            fleet.orchestrator.migrate(0, dst, on_done=done.append)
+            # trim block 2 inside the dual-write window
+            c.trim("t0", 2 * BS, BS)
+        c.sim.schedule_at(c.sim.now, kick)
+        run_all(fleet)
+        m = done[0]
+        assert m.done
+        assert 2 in m.dirty
+        # the trimmed block stays trimmed on the destination
+        assert c.shards[dst].mapping.lookup(2 * BS) is None
+        assert c.check_no_lost_writes() == []
+
+    def test_concurrent_migrations_of_distinct_ranges(self):
+        fleet = build_fleet(n_shards=2, tenants=[TenantSpec("t0")])
+        c = fleet.cluster
+        populate(fleet, list(range(4)) + list(range(64, 68)))  # ranges 0+1
+        dst0 = next(n for n in c.shards if n != c.owner_of(0))
+        dst1 = next(n for n in c.shards if n != c.owner_of(1))
+        done = []
+        fleet.orchestrator.migrate(0, dst0, on_done=done.append)
+        fleet.orchestrator.migrate(1, dst1, on_done=done.append)
+        run_all(fleet)
+        assert len(done) == 2 and all(m.done for m in done)
+        assert c.check_no_lost_writes() == []
+
+
+class TestValidation:
+    def test_rejects_busy_range_and_bad_destinations(self):
+        fleet = build_fleet(n_shards=2)
+        c = fleet.cluster
+        populate(fleet, range(2))
+        src = c.owner_of(0)
+        dst = next(n for n in c.shards if n != src)
+        fleet.orchestrator.migrate(0, dst)
+        with pytest.raises(MigrationError):
+            fleet.orchestrator.migrate(0, dst)  # already migrating
+        with pytest.raises(MigrationError):
+            fleet.orchestrator.migrate(1, c.owner_of(1))  # src == dst
+        with pytest.raises(MigrationError):
+            fleet.orchestrator.migrate(1, "nope")
+        run_all(fleet)
+
+    def test_single_shard_has_no_destination(self):
+        fleet = build_fleet(n_shards=1)
+        populate(fleet, range(2))
+        with pytest.raises(MigrationError):
+            fleet.orchestrator.migrate(0)
+
+    def test_auto_destination_picks_emptiest(self):
+        fleet = build_fleet(n_shards=3)
+        c = fleet.cluster
+        populate(fleet, range(4))
+        src = c.owner_of(0)
+        done = []
+        fleet.orchestrator.migrate(0, on_done=done.append)
+        run_all(fleet)
+        assert done[0].done
+        assert done[0].dst != src
