@@ -12,6 +12,8 @@ Usage::
     python -m repro.bench --metrics --series-dump ts.jsonl --prom-dump metrics.prom
     python -m repro.bench --audit --shadow lzf,gzip --audit-dump audit.jsonl
     python -m repro.bench --chaos benchmarks/chaos_fin1.json   # fault-injected replay
+    python -m repro.bench --cluster --trace --trace-dump trace.json --alerts
+    python -m repro.bench --profile --profile-dump profile.txt  # cProfile a replay
 
 Exhibit names: fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12
 breakdown.  ``fig8``-``fig10`` share one single-SSD replay matrix;
@@ -149,33 +151,56 @@ def _run_cluster(
     series_dump: str | None = None,
     prom_dump: str | None = None,
     interval: float = 0.25,
+    with_trace: bool = False,
+    trace_dump: str | None = None,
+    with_alerts: bool = False,
 ) -> int:
     """Run the sharded fleet exhibit; non-zero exit on invariant failure."""
     from repro.bench.cluster import run_cluster
     from repro.telemetry import (
+        BurnRateEngine,
         TimeSeriesSampler,
+        dump_chrome_trace,
         dump_timeseries_jsonl,
+        render_dashboard,
         render_exposition,
     )
 
+    with_trace = with_trace or bool(trace_dump)
     sampler = (
         TimeSeriesSampler(interval=interval)
-        if with_metrics or series_dump or prom_dump else None
+        if with_metrics or series_dump or prom_dump or with_alerts else None
     )
+    engine = BurnRateEngine() if with_alerts else None
+    mode = " + tracing" if with_trace else ""
+    mode += " + burn-rate alerts" if with_alerts else ""
     print(f"cluster: {n_shards} shards x {n_tenants} tenants, "
-          f"{max_requests} requests/tenant, one live migration...")
+          f"{max_requests} requests/tenant, one live migration{mode}...")
     report = run_cluster(
         n_shards=n_shards, n_tenants=n_tenants,
         max_requests=max_requests, sampler=sampler,
+        trace=with_trace, alerts=engine,
     )
     print()
     print(report.render())
+    if with_metrics:
+        print()
+        print(render_dashboard(sampler, alerts=engine))
+    if trace_dump:
+        with open(trace_dump, "w", encoding="utf-8") as fp:
+            n = dump_chrome_trace(report.tracing.tracer, fp)
+        print(f"\nwrote {n} trace events to {trace_dump} "
+              f"(chrome://tracing / Perfetto)")
     if series_dump:
         with open(series_dump, "w", encoding="utf-8") as fp:
             n = dump_timeseries_jsonl(sampler, fp)
         print(f"\nwrote {n} series/marker lines to {series_dump}")
     if prom_dump:
-        text = render_exposition(sampler=sampler)
+        exemplars = (
+            report.tracing.exposition_exemplars()
+            if report.tracing is not None else None
+        )
+        text = render_exposition(sampler=sampler, exemplars=exemplars)
         with open(prom_dump, "w", encoding="utf-8") as fp:
             fp.write(text)
         print(f"wrote {len(text.splitlines())} exposition lines "
@@ -317,7 +342,43 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cluster-requests", type=int, default=1500,
                         help="requests per tenant stream for --cluster "
                              "(default 1500)")
+    parser.add_argument("--trace", action="store_true",
+                        help="with --cluster, run under distributed "
+                             "tracing: one causal trace per tenant request "
+                             "across admission, shard splits, device layers "
+                             "and migration I/O; prints the critical-path "
+                             "attribution and fails the run on any "
+                             "conservation violation (--trace-dump PATH "
+                             "then writes a Chrome trace-event / Perfetto "
+                             "JSON file)")
+    parser.add_argument("--alerts", action="store_true",
+                        help="with --cluster, ride a multi-window SLO "
+                             "burn-rate alert engine on the metrics "
+                             "sampler and print fire/clear transitions "
+                             "(implies a sampler; composes with --metrics)")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile one Fin1 x EDC replay under cProfile "
+                             "and print the top functions by cumulative "
+                             "time (honours --duration)")
+    parser.add_argument("--profile-top", type=int, default=25,
+                        help="rows in the --profile table (default 25)")
+    parser.add_argument("--profile-dump", metavar="PATH", default=None,
+                        help="with --profile, also write the table to PATH")
     args = parser.parse_args(argv)
+    if args.profile:
+        from repro.bench.profile import profile_replay
+
+        print(f"profiling Fin1 x EDC (duration {args.duration:.0f}s)...")
+        prof = profile_replay(
+            duration=args.duration, top_n=args.profile_top
+        )
+        print()
+        print(prof.render())
+        if args.profile_dump:
+            with open(args.profile_dump, "w", encoding="utf-8") as fp:
+                prof.dump(fp)
+            print(f"\nwrote profile to {args.profile_dump}")
+        return 0
     if args.cluster:
         try:
             return _run_cluster(
@@ -325,6 +386,8 @@ def main(argv: list[str] | None = None) -> int:
                 args.cluster_requests, with_metrics=args.metrics,
                 series_dump=args.series_dump, prom_dump=args.prom_dump,
                 interval=args.sample_interval,
+                with_trace=args.trace, trace_dump=args.trace_dump,
+                with_alerts=args.alerts,
             )
         except ValueError as exc:
             parser.error(f"--cluster: {exc}")

@@ -11,7 +11,10 @@ traffic, and the lost-write invariant verdict.
 The run **fails** (non-zero exit from the CLI) when any acked write is
 lost, when a started migration does not complete, or when the SLO
 accounting is inconsistent — the same checks the CI cluster smoke job
-gates on.
+gates on.  With ``--trace`` the fleet runs under distributed tracing
+and every sampled request's critical path must sum to its end-to-end
+latency (conservation violations fail the run); ``--alerts`` rides a
+burn-rate alert engine on the metrics sampler.
 """
 
 from __future__ import annotations
@@ -62,6 +65,12 @@ class ClusterRunReport:
     streams: List[TenantStream]
     migrations: List[Migration]
     failures: List[str] = field(default_factory=list)
+    #: fleet DistTracer when the run was traced, else ``None``
+    tracing: Optional[object] = None
+    #: critical-path conservation report when the run was traced
+    critical: Optional[object] = None
+    #: BurnRateEngine when alerting was attached, else ``None``
+    alerts: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -112,6 +121,17 @@ class ClusterRunReport:
             f"fleet: WA {out.fleet_wa:.3f}, imbalance {out.imbalance:.3f}, "
             f"energy {out.energy.total_joules:.1f} J"
         )
+        if self.critical is not None:
+            lines.append("")
+            lines.append(self.critical.render())
+        if self.alerts is not None and self.alerts.events:
+            lines.append("")
+            lines.append(f"alert events: {len(self.alerts.events)}")
+            for ev in self.alerts.events[:8]:
+                lines.append(
+                    f"  {ev.t:8.3f}s  {ev.tenant:<10} {ev.kind:<6} "
+                    f"burn fast {ev.fast_burn:.2f} / slow {ev.slow_burn:.2f}"
+                )
         verdict = (
             "OK: no lost acked writes, SLO accounting consistent"
             if self.ok else "FAIL: " + "; ".join(self.failures)
@@ -129,6 +149,8 @@ def run_cluster(
     migrate_at: Optional[float] = None,
     seed: int = 42,
     sampler=None,
+    trace: bool = False,
+    alerts=None,
 ) -> ClusterRunReport:
     """Run the fleet exhibit: interleaved tenants + one live migration.
 
@@ -138,11 +160,19 @@ def run_cluster(
     ``sampler`` optionally attaches a
     :class:`~repro.telemetry.TimeSeriesSampler` via
     :func:`~repro.telemetry.timeseries.bind_cluster_metrics`.
+    ``trace=True`` builds the fleet with a cluster-wide
+    :class:`~repro.telemetry.disttrace.DistTracer` and runs the
+    critical-path conservation check after the replay — any trace whose
+    critical path fails to sum to its end-to-end latency becomes a run
+    failure.  ``alerts`` optionally takes a
+    :class:`~repro.telemetry.alerts.BurnRateEngine` to ride the
+    sampler's ticks (requires ``sampler``).
     """
     specs = tenant_roster(n_tenants)
     fleet = build_cluster(
         specs,
         ClusterReplayConfig(n_shards=n_shards, capacity_mb=capacity_mb),
+        tracing=trace,
     )
     replayer = ClusterReplayer(fleet)
     streams = make_tenant_streams(
@@ -153,10 +183,17 @@ def run_cluster(
     )
     for stream in streams:
         replayer.schedule(stream.tenant, stream.trace)
+    if alerts is not None and sampler is None:
+        raise ValueError("alerts requires a sampler to ride on")
     if sampler is not None:
         from repro.telemetry.timeseries import bind_cluster_metrics
 
         bind_cluster_metrics(sampler, fleet)
+        if alerts is not None:
+            alerts.attach(sampler, fleet.cluster.scheduler)
+        fleet.balancer.on_suggest = (
+            lambda src, dst, imb: sampler.mark("rebalance", f"{src}->{dst}")
+        )
         sampler.start()
 
     migrations: List[Migration] = []
@@ -213,7 +250,16 @@ def run_cluster(
             failures.append(
                 f"tenant {name}: SLO violations recorded without an SLO"
             )
+    critical = None
+    if trace:
+        from repro.telemetry.disttrace import analyze_critical_paths
+
+        critical = analyze_critical_paths(fleet.tracing)
+        failures.extend(critical.violations)
+        if critical.n_traces == 0:
+            failures.append("tracing enabled but no trace completed")
     return ClusterRunReport(
         outcome=outcome, streams=streams,
         migrations=migrations, failures=failures,
+        tracing=fleet.tracing, critical=critical, alerts=alerts,
     )

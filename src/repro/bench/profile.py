@@ -1,0 +1,120 @@
+"""Wall-clock profiling of the replay engine.
+
+``python -m repro.bench --profile`` wraps one replay in
+:mod:`cProfile` and reports the top cumulative-time functions — the
+data the ROADMAP's replay-engine speed overhaul starts from.  This is
+the only place in the repo that reads wall-clock time on purpose: the
+subject is the *simulator's own* speed, not the simulated system.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import time
+from dataclasses import dataclass, field
+from typing import List, TextIO, Tuple
+
+__all__ = ["ProfileRow", "ProfileReport", "profile_replay"]
+
+
+@dataclass(frozen=True)
+class ProfileRow:
+    """One function's aggregate cost in the profiled replay."""
+
+    ncalls: int
+    tottime: float
+    cumtime: float
+    where: str  # "file:line(function)"
+
+
+@dataclass
+class ProfileReport:
+    """Top-N cumulative-time table over one profiled replay."""
+
+    trace_name: str
+    scheme: str
+    n_requests: int
+    wall_seconds: float
+    virtual_seconds: float
+    rows: List[ProfileRow] = field(default_factory=list)
+
+    @property
+    def requests_per_wall_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.n_requests / self.wall_seconds
+
+    def render(self) -> str:
+        lines = [
+            f"profile: {self.trace_name} x {self.scheme}, "
+            f"{self.n_requests} requests in {self.wall_seconds:.2f}s wall "
+            f"({self.requests_per_wall_second:,.0f} req/s, "
+            f"{self.virtual_seconds:.1f} virtual seconds simulated)",
+            "",
+            f"{'ncalls':>10}  {'tottime':>8}  {'cumtime':>8}  function",
+            f"{'-' * 10}  {'-' * 8}  {'-' * 8}  {'-' * 40}",
+        ]
+        for r in self.rows:
+            lines.append(
+                f"{r.ncalls:>10}  {r.tottime:>8.3f}  {r.cumtime:>8.3f}  "
+                f"{r.where}"
+            )
+        return "\n".join(lines)
+
+    def dump(self, fp: TextIO) -> None:
+        fp.write(self.render())
+        fp.write("\n")
+
+
+def _format_func(key: Tuple[str, int, str]) -> str:
+    filename, lineno, func = key
+    if filename == "~":  # builtins
+        return func
+    short = "/".join(filename.split("/")[-2:])
+    return f"{short}:{lineno}({func})"
+
+
+def profile_replay(
+    trace_name: str = "Fin1",
+    scheme: str = "EDC",
+    duration: float = 30.0,
+    top_n: int = 25,
+) -> ProfileReport:
+    """Replay one trace under cProfile; return the top-N cumulative table.
+
+    The profile covers the replay only (trace synthesis and device
+    construction run beforehand), so the rows attribute simulator and
+    device-stack time, not setup.
+    """
+    if top_n < 1:
+        raise ValueError(f"top_n must be >= 1: {top_n!r}")
+    from repro.bench.experiments import replay
+    from repro.traces.workloads import make_workload
+
+    trace = make_workload(trace_name, duration=duration)
+    prof = cProfile.Profile()
+    t0 = time.perf_counter()
+    prof.enable()
+    result = replay(trace, scheme)
+    prof.disable()
+    wall = time.perf_counter() - t0
+
+    stats = pstats.Stats(prof)
+    rows: List[ProfileRow] = []
+    entries = sorted(
+        stats.stats.items(),  # type: ignore[attr-defined]
+        key=lambda kv: -kv[1][3],  # cumulative time
+    )
+    for key, (cc, nc, tt, ct, _callers) in entries[:top_n]:
+        rows.append(ProfileRow(
+            ncalls=nc, tottime=tt, cumtime=ct, where=_format_func(key),
+        ))
+    return ProfileReport(
+        trace_name=trace_name,
+        scheme=scheme,
+        n_requests=result.n_requests,
+        wall_seconds=wall,
+        virtual_seconds=trace.duration,
+        rows=rows,
+    )

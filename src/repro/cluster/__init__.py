@@ -15,6 +15,12 @@ virtual clock:
   (copy-then-cutover with a dual-write window);
 - :mod:`repro.cluster.fleet` — fleet assembly and the cluster replay
   harness.
+
+The whole tier is traceable end-to-end: ``build_cluster(tracing=True)``
+attaches a :class:`~repro.telemetry.disttrace.DistTracer` that threads
+one causal trace per tenant request through admission, QoS queueing,
+shard splits, the per-device span layers and migration I/O — with the
+guarantee that tracing never changes the simulated outcome.
 """
 
 from repro.cluster.capacity import CapacityBalancer, ShardCapacity

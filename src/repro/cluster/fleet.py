@@ -96,6 +96,9 @@ class ClusterFleet:
     devices: Dict[str, object]
     backends: Dict[str, SimulatedSSD]
     config: ClusterReplayConfig
+    #: cluster-wide :class:`~repro.telemetry.disttrace.DistTracer`, or
+    #: ``None`` when the fleet was built without tracing
+    tracing: Optional[object] = None
 
     def flush(self) -> None:
         """Flush every shard's Sequentiality Detector tail."""
@@ -107,10 +110,25 @@ def build_cluster(
     tenants: Sequence[TenantSpec],
     cfg: Optional[ClusterReplayConfig] = None,
     sim: Optional[Simulator] = None,
+    tracing: bool = False,
 ) -> ClusterFleet:
-    """Stand up the shard fleet and its cluster tier on one clock."""
+    """Stand up the shard fleet and its cluster tier on one clock.
+
+    ``tracing=True`` attaches a fleet-wide
+    :class:`~repro.telemetry.disttrace.DistTracer`: one shared span
+    tracer across every shard's :class:`~repro.telemetry.Telemetry`
+    plus the cluster tier, so device spans nest under cluster request
+    spans.  Tracing is observational only — the simulated outcome is
+    bit-identical with it on or off.
+    """
     cfg = cfg if cfg is not None else ClusterReplayConfig()
     sim = sim if sim is not None else Simulator()
+    dist = None
+    if tracing:
+        from repro.telemetry.disttrace import DistTracer
+        from repro.telemetry.probes import Telemetry
+
+        dist = DistTracer(sim)
     geo = x25e_like(cfg.capacity_mb)
     devices: Dict[str, object] = {}
     backends: Dict[str, SimulatedSSD] = {}
@@ -123,8 +141,13 @@ def build_cluster(
             pool_blocks=cfg.pool_blocks,
             seed=cfg.content_seed,
         )
+        telemetry = None
+        if dist is not None:
+            telemetry = Telemetry(sim, tracer=dist.tracer)
+            telemetry.parent_for = dist.take_parent
         devices[name] = build_device(
-            sim, cfg.scheme, ssd, content, config=cfg.device_config
+            sim, cfg.scheme, ssd, content, config=cfg.device_config,
+            telemetry=telemetry,
         )
         backends[name] = ssd
     cluster = ClusterDistributer(
@@ -133,12 +156,14 @@ def build_cluster(
         range_blocks=cfg.range_blocks,
         vnodes=cfg.vnodes,
         seed=cfg.ring_seed,
+        tracer=dist,
     )
     orchestrator = MigrationOrchestrator(cluster)
     balancer = CapacityBalancer(cluster)
     return ClusterFleet(
         sim=sim, cluster=cluster, orchestrator=orchestrator,
         balancer=balancer, devices=devices, backends=backends, config=cfg,
+        tracing=dist,
     )
 
 

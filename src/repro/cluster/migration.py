@@ -153,6 +153,8 @@ class MigrationOrchestrator:
         )
         self.active[range_idx] = m
         self.stats.started += 1
+        if c.tracer.enabled:
+            c.tracer.migration_started(m)
         # 1. open the dual-write window *before* quiescing: every write
         #    admitted from this instant on reaches the destination too.
         c.dual_writes[range_idx] = (src, dst)
@@ -166,6 +168,8 @@ class MigrationOrchestrator:
     def _start_copy(self, m: Migration) -> None:
         c = self.cluster
         m.state = "copying"
+        if c.tracer.enabled:
+            c.tracer.migration_phase(m, "copy")
         src_dev = c.shards[m.src]
         bs = c.block_size
         start = m.range_idx * c.range_blocks
@@ -219,6 +223,8 @@ class MigrationOrchestrator:
                 return
             wreq = IORequest(c.sim.now, WRITE, lba, bs)
             c.register_internal(wreq, _write_done)
+            if c.tracer.enabled:
+                c.tracer.copy_io(m, wreq)
             c.shards[m.dst].submit(wreq)
 
         def _write_done(_req: IORequest, _lat: float) -> None:
@@ -230,6 +236,8 @@ class MigrationOrchestrator:
 
         rreq = IORequest(c.sim.now, READ, lba, bs)
         c.register_internal(rreq, _read_done)
+        if c.tracer.enabled:
+            c.tracer.copy_io(m, rreq)
         c.shards[m.src].submit(rreq)
 
     # ------------------------------------------------------------------
@@ -240,6 +248,8 @@ class MigrationOrchestrator:
         c.overrides[m.range_idx] = m.dst
         del c.dual_writes[m.range_idx]
         m.state = "cleanup"
+        if c.tracer.enabled:
+            c.tracer.migration_phase(m, "cleanup")
         # 5. drain in-flight source reads, then drop the stale copy.
         c.when_drained(
             c.inflight_in([m.range_idx]), lambda: self._cleanup(m)
@@ -258,5 +268,7 @@ class MigrationOrchestrator:
         del self._queues[m.range_idx]
         self.completed.append(m)
         self.stats.completed += 1
+        if c.tracer.enabled:
+            c.tracer.migration_done(m)
         if m.on_done is not None:
             m.on_done(m)

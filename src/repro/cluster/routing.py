@@ -36,6 +36,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.cluster.tenants import QoSScheduler, TenantSpec, TenantState
 from repro.sim.engine import Simulator
+from repro.telemetry.disttrace import NULL_DIST_TRACER
 from repro.traces.model import IORequest, READ, WRITE
 
 __all__ = ["HashRing", "ClusterStats", "ClusterDistributer"]
@@ -141,6 +142,7 @@ class ClusterDistributer:
         range_blocks: int = 256,
         vnodes: int = 64,
         seed: int = 0,
+        tracer=None,
     ) -> None:
         if not shards:
             raise ValueError("cluster needs at least one shard")
@@ -168,6 +170,12 @@ class ClusterDistributer:
             list(tenants) if tenants is not None else [TenantSpec("default")],
             self._dispatch,
         )
+        # Distributed tracing is purely observational: every hook below
+        # records spans but schedules no events, so a traced run stays
+        # bit-identical to an untraced one.
+        self.tracer = tracer if tracer is not None else NULL_DIST_TRACER
+        if self.tracer.enabled:
+            self.scheduler.on_queued = self.tracer.request_queued
         self.stats = ClusterStats()
         #: range index -> shard name, installed at migration cutover
         self.overrides: Dict[int, str] = {}
@@ -266,6 +274,8 @@ class ClusterDistributer:
         g = self.globalize(tenant, request)
         if on_complete is not None:
             self._user_done[id(g)] = on_complete
+        if self.tracer.enabled:
+            self.tracer.request_submitted(g, tenant)
         self.scheduler.submit(tenant, g)
 
     def write(
@@ -334,6 +344,10 @@ class ClusterDistributer:
     def _dispatch(
         self, st: TenantState, request: IORequest, arrival: float
     ) -> None:
+        if self.tracer.enabled:
+            # Splits the admission delay into throttle wait vs. EDF
+            # queueing now that the dispatch instant is known.
+            self.tracer.request_dispatched(request, arrival)
         parts = self._split(request)
         if len(parts) > 1:
             self.stats.split_requests += 1
@@ -347,13 +361,17 @@ class ClusterDistributer:
         remaining = [len(parts)]
 
         def _part_done(part: IORequest, _latency: float) -> None:
+            if self.tracer.enabled:
+                self.tracer.part_done(part)
             if part.is_write:
                 start = part.lba // bs
                 end = (part.lba + part.nbytes + bs - 1) // bs
                 self._acked_blocks.update(range(start, end))
             remaining[0] -= 1
             if remaining[0] == 0:
-                self.scheduler.note_complete(st, arrival)
+                latency = self.scheduler.note_complete(st, arrival)
+                if self.tracer.enabled:
+                    self.tracer.request_done(request, latency)
                 user_cb = self._user_done.pop(id(request), None)
                 if user_cb is not None:
                     user_cb()
@@ -373,6 +391,10 @@ class ClusterDistributer:
                     start = part.lba // bs
                     end = (part.lba + part.nbytes + bs - 1) // bs
                     self.on_dual_write(list(range(start, end)))
+                if self.tracer.enabled:
+                    # Attribute the duplicate's device work to the
+                    # migration, not the tenant request it shadows.
+                    self.tracer.dual_write_issued(ridx, dup, dst)
                 self.shards[dst].submit(dup)
                 owner = src
             elif window is not None:
@@ -382,6 +404,8 @@ class ClusterDistributer:
             self._inflight[id(part)] = (part, _part_done)
             for r in self.ranges_covered(part.lba, part.nbytes):
                 self._range_parts.setdefault(r, set()).add(id(part))
+            if self.tracer.enabled:
+                self.tracer.part_issued(request, part, owner)
             self.shards[owner].submit(part)
 
     # ------------------------------------------------------------------

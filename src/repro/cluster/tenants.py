@@ -187,6 +187,13 @@ class QoSScheduler:
             spec.name: TenantState(spec, i) for i, spec in enumerate(tenants)
         }
         self._dispatch = dispatch
+        #: observational hook ``(state, request, now, eta)`` fired when a
+        #: request misses direct admission; ``eta`` is the bucket's
+        #: token-availability instant (``now`` for unthrottled tenants).
+        #: Purely a tracing tap — it must never mutate scheduler state.
+        self.on_queued: Optional[
+            Callable[[TenantState, IORequest, float, float], None]
+        ] = None
         self._drain_handle: Optional[EventHandle] = None
         self._drain_at = float("inf")
 
@@ -227,6 +234,11 @@ class QoSScheduler:
         st.backlog.append((now, request))
         st.stats.queued += 1
         st.stats.max_backlog = max(st.stats.max_backlog, len(st.backlog))
+        if self.on_queued is not None:
+            # eta() only refills the bucket (idempotent), so asking for
+            # it here cannot change when the drain event actually fires.
+            eta = now if st.bucket is None else st.bucket.eta(now)
+            self.on_queued(st, request, now, eta)
         self._arm()
 
     # ------------------------------------------------------------------

@@ -27,6 +27,13 @@ A zero-dependency observability layer for the EDC stack.  Four pieces:
   (:class:`DecisionAuditor`): policy inputs, shadow-policy
   counterfactual accounting and JSONL dumps consumed by
   ``python -m repro.bench.diff``.
+- :mod:`repro.telemetry.disttrace` — cluster-wide distributed tracing
+  (:class:`DistTracer`): one causal trace per tenant request across
+  throttle/queue/split/device/migration, critical-path attribution
+  with an exact conservation check, and per-tenant trace exemplars.
+- :mod:`repro.telemetry.alerts` — deterministic multi-window SLO
+  burn-rate alerting (:class:`BurnRateEngine`) over the sampled
+  per-tenant series, with an ASCII alert timeline.
 """
 
 from repro.telemetry.histograms import (
@@ -44,10 +51,27 @@ from repro.telemetry.probes import (
 )
 from repro.telemetry.exporters import (
     ascii_flamegraph,
+    dump_chrome_trace,
     dump_jsonl,
     layer_breakdown_rows,
     render_layer_breakdown,
     render_telemetry_summary,
+)
+from repro.telemetry.disttrace import (
+    NULL_DIST_TRACER,
+    CriticalPathReport,
+    DistTracer,
+    PathSegment,
+    TraceExemplar,
+    analyze_critical_paths,
+    child_index,
+    critical_path,
+)
+from repro.telemetry.alerts import (
+    AlertEvent,
+    BurnRateEngine,
+    BurnRatePolicy,
+    render_alert_timeline,
 )
 from repro.telemetry.timeseries import (
     MarkerSeries,
@@ -85,6 +109,19 @@ __all__ = [
     "PROBE_POINTS",
     "NULL_TELEMETRY",
     "dump_jsonl",
+    "dump_chrome_trace",
+    "DistTracer",
+    "NULL_DIST_TRACER",
+    "TraceExemplar",
+    "PathSegment",
+    "CriticalPathReport",
+    "child_index",
+    "critical_path",
+    "analyze_critical_paths",
+    "AlertEvent",
+    "BurnRatePolicy",
+    "BurnRateEngine",
+    "render_alert_timeline",
     "layer_breakdown_rows",
     "render_layer_breakdown",
     "render_telemetry_summary",

@@ -91,11 +91,15 @@ def render_dashboard(
     sampler: TimeSeriesSampler,
     width: int = 60,
     panels: Optional[Sequence[str]] = None,
+    alerts=None,
 ) -> str:
     """The multi-panel dashboard, ready to print.
 
     ``panels`` optionally restricts/orders the family prefixes shown
-    (default: every family present, in name order).
+    (default: every family present, in name order).  ``alerts``
+    optionally takes a :class:`~repro.telemetry.alerts.BurnRateEngine`;
+    its per-tenant alert timeline renders as a final panel aligned with
+    the sparklines' time range.
     """
     nonempty = {
         name: s for name, s in sampler.series.items() if len(s) > 0
@@ -151,6 +155,16 @@ def render_dashboard(
         suffix = f" (+{more} more)" if more > 0 else ""
         lines.append("")
         lines.append(f"markers[{channel}]: {len(m)} — {shown}{suffix}")
+    if alerts is not None and getattr(alerts, "states", None):
+        from repro.telemetry.alerts import render_alert_timeline
+
+        lines.append("")
+        lines.append(
+            "── alerts " + "─" * max(0, width + label_w - 10)
+        )
+        lines.append(
+            render_alert_timeline(alerts, t_lo, t_hi, width=width)
+        )
     return "\n".join(lines)
 
 

@@ -15,6 +15,7 @@ from repro.telemetry.spans import Span, Tracer
 
 __all__ = [
     "dump_jsonl",
+    "dump_chrome_trace",
     "layer_breakdown_rows",
     "render_layer_breakdown",
     "render_telemetry_summary",
@@ -44,10 +45,19 @@ def _table(headers: Sequence[str], rows: Sequence[Sequence[object]],
 def dump_jsonl(tracer: Tracer, fp: TextIO) -> int:
     """Write every retained span as one JSON object per line.
 
-    Returns the number of spans written.  A final metadata line records
-    how many spans were dropped by the tracer's retention cap.
+    Returns the number of spans written.  A truncated trace announces
+    itself up front: when the tracer's retention cap dropped spans, a
+    header line with the retained/dropped counts precedes the spans
+    (and a trailing metadata line repeats the drop count), so a partial
+    dump can never masquerade as a complete trace.
     """
     n = 0
+    if tracer.dropped:
+        fp.write(json.dumps({"meta": "trace_header",
+                             "retained": len(tracer),
+                             "dropped": tracer.dropped},
+                            sort_keys=True))
+        fp.write("\n")
     for span in tracer:
         fp.write(json.dumps(span.to_dict(), sort_keys=True))
         fp.write("\n")
@@ -56,6 +66,90 @@ def dump_jsonl(tracer: Tracer, fp: TextIO) -> int:
         fp.write(json.dumps({"meta": "dropped_spans",
                              "count": tracer.dropped}))
         fp.write("\n")
+    return n
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event / Perfetto JSON export
+# ----------------------------------------------------------------------
+def _chrome_group(span: Span, by_id: Dict[int, Span]) -> str:
+    """Process group of a span: nearest ``shard`` tag up the ancestry,
+    else ``migration`` for migration-layer chains, else ``cluster``."""
+    cur: Optional[Span] = span
+    hops = 0
+    while cur is not None and hops < 64:
+        if cur.tags and "shard" in cur.tags:
+            return f"shard:{cur.tags['shard']}"
+        if cur.layer == "migration":
+            return "migration"
+        cur = by_id.get(cur.parent_id) if cur.parent_id is not None else None
+        hops += 1
+    return "cluster"
+
+
+def dump_chrome_trace(tracer: Tracer, fp: TextIO) -> int:
+    """Write the trace as Chrome trace-event JSON (Perfetto-loadable).
+
+    Every finished span becomes one complete (``"X"``) event with
+    microsecond timestamps; process groups (``pid``) separate shards /
+    migration / cluster-tier work and threads (``tid``) separate
+    layers, both named through metadata events.  Unfinished spans are
+    skipped and counted in ``otherData.open_spans`` (the retention
+    cap's drops land in ``otherData.dropped_spans``).  Returns the
+    number of span events written.
+    """
+    by_id: Dict[int, Span] = {s.span_id: s for s in tracer}
+    pids: Dict[str, int] = {}
+    tids: Dict[Tuple[int, str], int] = {}
+    events: List[Dict[str, object]] = []
+    open_spans = 0
+    for span in tracer:
+        if span.end is None:
+            open_spans += 1
+            continue
+        group = _chrome_group(span, by_id)
+        pid = pids.get(group)
+        if pid is None:
+            pid = pids[group] = len(pids) + 1
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": group},
+            })
+        tkey = (pid, span.layer)
+        tid = tids.get(tkey)
+        if tid is None:
+            tid = tids[tkey] = sum(1 for k in tids if k[0] == pid) + 1
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": span.layer},
+            })
+        args: Dict[str, object] = {"span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.tags:
+            args.update({k: v for k, v in span.tags.items()})
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.layer,
+            "ts": span.start * 1e6,
+            "dur": (span.end - span.start) * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    n = sum(1 for e in events if e["ph"] == "X")
+    json.dump({
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "simulation",
+            "spans": n,
+            "open_spans": open_spans,
+            "dropped_spans": tracer.dropped,
+        },
+    }, fp)
+    fp.write("\n")
     return n
 
 

@@ -100,6 +100,9 @@ def render_exposition(
     metrics=None,
     sampler=None,
     namespace: str = "edc",
+    exemplars: Optional[
+        Dict[str, Tuple[Dict[str, str], float, float]]
+    ] = None,
 ) -> str:
     """Render one scrape snapshot as Prometheus exposition text.
 
@@ -107,6 +110,13 @@ def render_exposition(
     a :class:`TimeSeriesSampler` (or ``None``) whose series contribute
     their *latest* point as gauges — labelled series (codec shares, slot
     classes) merge into one metric family with distinct label sets.
+
+    ``exemplars`` optionally maps a *series name* (the sampler's dotted
+    internal name, e.g. ``cluster.tenant_p95.tenant3``) to
+    ``(labels, value, timestamp)``; matching sampler lines gain an
+    OpenMetrics-style `` # {trace_id="7"} 0.0123 4.5`` suffix linking
+    the sample to the trace behind it (see
+    :meth:`~repro.telemetry.disttrace.DistTracer.exposition_exemplars`).
     """
     w = _Writer()
     ns = sanitize_name(namespace)
@@ -154,6 +164,13 @@ def render_exposition(
                 f"Latest sample of time series family {s.metric!r}.",
             )
             w.sample(full, v, s.labels or None)
+            ex = exemplars.get(name) if exemplars else None
+            if ex is not None:
+                ex_labels, ex_value, ex_t = ex
+                w.lines[-1] += (
+                    f" # {_fmt_labels(dict(ex_labels))} "
+                    f"{_fmt_value(ex_value)} {_fmt_value(ex_t)}"
+                )
         for channel in sorted(sampler.markers):
             m = sampler.markers[channel]
             full = f"{ns}_marker_{sanitize_name(channel)}_total"
@@ -266,6 +283,11 @@ def parse_exposition(
         labels: List[Tuple[str, str]] = []
         if rest.startswith("{"):
             labels, rest = _scan_labels(rest, lineno)
+        # OpenMetrics-style exemplar suffix (` # {labels} value ts`):
+        # metadata about the sample, not part of its value — strip it.
+        exemplar_at = rest.find(" # ")
+        if exemplar_at != -1:
+            rest = rest[:exemplar_at]
         value_str = rest.strip()
         if not value_str or any(c in value_str for c in " \t"):
             raise ExpositionError(f"line {lineno}: unparsable: {raw!r}")

@@ -157,10 +157,19 @@ class Telemetry:
         probes: Optional[ProbeRegistry] = None,
         max_spans: int = 200_000,
         sub_buckets: int = 16,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.sim = sim
         self.probes = probes if probes is not None else ProbeRegistry()
-        self.tracer = Tracer(lambda: sim.now, max_spans=max_spans)
+        # A shared tracer (cluster tracing) threads all shards' spans
+        # into one causal trace; by default each Telemetry owns its own.
+        self.tracer = (
+            tracer if tracer is not None
+            else Tracer(lambda: sim.now, max_spans=max_spans)
+        )
+        #: optional hook resolving a parent span for an arriving request
+        #: (distributed tracing parents device roots under shard parts)
+        self.parent_for: Optional[Callable[[object], Optional[Span]]] = None
         self.metrics = MetricsRegistry(sub_buckets=sub_buckets)
         self.device = None
 
@@ -218,9 +227,13 @@ class Telemetry:
     def request_arrived(self, request, is_write: bool) -> None:
         """Open the per-request root span at arrival time."""
         now = self.sim.now
+        parent = (
+            self.parent_for(request) if self.parent_for is not None else None
+        )
         span = self.tracer.start(
             "write" if is_write else "read",
             layer="request",
+            parent=parent,
             lba=getattr(request, "lba", None),
             nbytes=getattr(request, "nbytes", None),
         )

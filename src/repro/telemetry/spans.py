@@ -74,7 +74,12 @@ class Span:
         return self.end - self.start
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-serialisable representation (one trace-dump line)."""
+        """JSON-serialisable representation (one trace-dump line).
+
+        A still-open span emits ``end: null`` / ``duration: null`` with
+        an explicit ``open: true`` flag, so truncated dumps cannot pass
+        an unfinished span off as a real zero-length one.
+        """
         d: Dict[str, object] = {
             "span_id": self.span_id,
             "parent_id": self.parent_id,
@@ -82,8 +87,10 @@ class Span:
             "layer": self.layer,
             "start": self.start,
             "end": self.end,
-            "duration": self.duration,
+            "duration": self.duration if self.end is not None else None,
         }
+        if self.end is None:
+            d["open"] = True
         if self.tags:
             d["tags"] = dict(self.tags)
         return d

@@ -466,6 +466,20 @@ def bind_standard_metrics(sampler: TimeSeriesSampler, device) -> None:
                 (lambda n=rname: _last_recovery(n)),
             )
 
+    # Trace-accounting vocabulary — only present on traced devices, so
+    # baseline scrapes and their exposition output are unchanged.
+    # spans_dropped makes the tracer's retention cap visible: a capped
+    # trace can no longer masquerade as a complete one.
+    telemetry = getattr(device, "telemetry", None)
+    if telemetry is not None and getattr(telemetry, "enabled", False):
+        tracer = telemetry.tracer
+        sampler.register(
+            "trace.spans_dropped", lambda: float(tracer.dropped)
+        )
+        sampler.register(
+            "trace.retained_spans", lambda: float(len(tracer.spans))
+        )
+
     # Decision-audit vocabulary — only present on audited runs, so
     # baseline scrapes and their exposition output are unchanged.
     auditor = getattr(device, "auditor", None)
@@ -480,7 +494,9 @@ def bind_standard_metrics(sampler: TimeSeriesSampler, device) -> None:
         )
 
 
-def bind_cluster_metrics(sampler: TimeSeriesSampler, fleet) -> None:
+def bind_cluster_metrics(
+    sampler: TimeSeriesSampler, fleet, tracing=None
+) -> None:
     """Register the ``cluster.*`` fleet vocabulary for one cluster run.
 
     ``fleet`` is a :class:`~repro.cluster.fleet.ClusterFleet`.  Binds
@@ -489,11 +505,30 @@ def bind_cluster_metrics(sampler: TimeSeriesSampler, fleet) -> None:
     families (``shard`` label), per-tenant backlog/p95/SLO-violation
     families (``tenant`` label), and scalar fleet series — admission
     backlog, physical imbalance, active migrations and cumulative
-    migration bytes.  Call :meth:`TimeSeriesSampler.start` afterwards.
+    migration bytes.  On a traced fleet (``tracing`` defaults to the
+    fleet's own :class:`~repro.telemetry.disttrace.DistTracer`, if any)
+    the ``trace.*`` accounting family rides along.  Call
+    :meth:`TimeSeriesSampler.start` afterwards.
     """
     sampler.sim = fleet.sim
     cluster = fleet.cluster
     devices = dict(fleet.devices)
+    if tracing is None:
+        tracing = getattr(fleet, "tracing", None)
+    if tracing is not None and getattr(tracing, "enabled", False):
+        tracer = tracing.tracer
+        sampler.register(
+            "trace.spans_dropped", lambda: float(tracer.dropped)
+        )
+        sampler.register(
+            "trace.retained_spans", lambda: float(len(tracer.spans))
+        )
+        sampler.register(
+            "trace.open_spans", lambda: float(tracer.open_spans)
+        )
+        sampler.register(
+            "trace.open_requests", lambda: float(tracing.open_traces())
+        )
 
     sampler.register_multi(
         "cluster.shard_depth",

@@ -1,0 +1,27 @@
+"""CPU profiling harness: cProfile wrapper over one replay."""
+
+import io
+
+from repro.bench.profile import profile_replay
+
+
+class TestProfileReplay:
+    def test_profiles_a_short_replay(self):
+        report = profile_replay(duration=2.0, top_n=5)
+        assert report.n_requests > 0
+        assert report.wall_seconds > 0
+        assert report.virtual_seconds > 0
+        assert report.requests_per_wall_second > 0
+        assert 0 < len(report.rows) <= 5
+        # the replay entry point dominates cumulative time
+        assert any("replay" in r.where for r in report.rows)
+        assert report.rows[0].cumtime >= report.rows[-1].cumtime
+
+    def test_render_and_dump(self):
+        report = profile_replay(duration=2.0, top_n=5)
+        text = report.render()
+        assert "cumtime" in text
+        assert "Fin1 x EDC" in text
+        fp = io.StringIO()
+        report.dump(fp)
+        assert fp.getvalue() == text + "\n"
