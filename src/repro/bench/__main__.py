@@ -154,8 +154,16 @@ def _run_cluster(
     with_trace: bool = False,
     trace_dump: str | None = None,
     with_alerts: bool = False,
+    chaos_plan: str | None = None,
+    replication: int = 1,
+    quorum: str = "majority",
+    hedge: bool = False,
 ) -> int:
-    """Run the sharded fleet exhibit; non-zero exit on invariant failure."""
+    """Run the sharded fleet exhibit; non-zero exit on invariant failure.
+
+    With ``chaos_plan`` the run becomes the fleet chaos harness: exit
+    0 RECOVERED, 1 DEGRADED (or invariant failure), 2 DATA-LOSS.
+    """
     from repro.bench.cluster import run_cluster
     from repro.telemetry import (
         BurnRateEngine,
@@ -166,6 +174,16 @@ def _run_cluster(
         render_exposition,
     )
 
+    plan = None
+    if chaos_plan is not None:
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.from_json(chaos_plan)
+        if plan.power_losses:
+            raise ValueError(
+                "power_loss events belong to the crash harness "
+                "(--chaos), not the fleet chaos harness"
+            )
     with_trace = with_trace or bool(trace_dump)
     sampler = (
         TimeSeriesSampler(interval=interval)
@@ -174,12 +192,23 @@ def _run_cluster(
     engine = BurnRateEngine() if with_alerts else None
     mode = " + tracing" if with_trace else ""
     mode += " + burn-rate alerts" if with_alerts else ""
+    if plan is not None:
+        mode += (
+            f" under chaos plan {chaos_plan} "
+            f"(rf={replication}, quorum={quorum}, "
+            f"{len(plan.device_failures)} scheduled shard failure(s))"
+        )
+        work = "fleet chaos"
+    else:
+        work = "one live migration"
     print(f"cluster: {n_shards} shards x {n_tenants} tenants, "
-          f"{max_requests} requests/tenant, one live migration{mode}...")
+          f"{max_requests} requests/tenant, {work}{mode}...")
     report = run_cluster(
         n_shards=n_shards, n_tenants=n_tenants,
         max_requests=max_requests, sampler=sampler,
         trace=with_trace, alerts=engine,
+        fault_plan=plan, replication_factor=replication,
+        quorum=quorum, hedge_reads=hedge,
     )
     print()
     print(report.render())
@@ -342,6 +371,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cluster-requests", type=int, default=1500,
                         help="requests per tenant stream for --cluster "
                              "(default 1500)")
+    parser.add_argument("--cluster-chaos", metavar="PLAN.json", default=None,
+                        help="with --cluster, run the fleet chaos harness: "
+                             "arm the plan's scheduled device_failures "
+                             "(device names shard0..N-1) against the fleet, "
+                             "replicate ranges --cluster-replication ways, "
+                             "and grade the post-run durability audit. "
+                             "Exit 0 RECOVERED, 1 DEGRADED, 2 DATA-LOSS")
+    parser.add_argument("--cluster-replication", type=int, default=1,
+                        metavar="N",
+                        help="replicas per LBA range for --cluster "
+                             "(default 1 = no replication)")
+    parser.add_argument("--cluster-quorum", default="majority",
+                        choices=("one", "majority", "all"),
+                        help="write-ack quorum for --cluster-replication "
+                             "(default majority)")
+    parser.add_argument("--cluster-hedge", action="store_true",
+                        help="with --cluster-replication > 1, hedge reads "
+                             "to a second replica at the tenant's observed "
+                             "p95 latency")
     parser.add_argument("--trace", action="store_true",
                         help="with --cluster, run under distributed "
                              "tracing: one causal trace per tenant request "
@@ -379,6 +427,8 @@ def main(argv: list[str] | None = None) -> int:
                 prof.dump(fp)
             print(f"\nwrote profile to {args.profile_dump}")
         return 0
+    if args.cluster_chaos and not args.cluster:
+        parser.error("--cluster-chaos requires --cluster")
     if args.cluster:
         try:
             return _run_cluster(
@@ -388,8 +438,12 @@ def main(argv: list[str] | None = None) -> int:
                 interval=args.sample_interval,
                 with_trace=args.trace, trace_dump=args.trace_dump,
                 with_alerts=args.alerts,
+                chaos_plan=args.cluster_chaos,
+                replication=args.cluster_replication,
+                quorum=args.cluster_quorum,
+                hedge=args.cluster_hedge,
             )
-        except ValueError as exc:
+        except (OSError, ValueError) as exc:
             parser.error(f"--cluster: {exc}")
     if args.chaos:
         try:

@@ -15,6 +15,19 @@ gates on.  With ``--trace`` the fleet runs under distributed tracing
 and every sampled request's critical path must sum to its end-to-end
 latency (conservation violations fail the run); ``--alerts`` rides a
 burn-rate alert engine on the metrics sampler.
+
+``python -m repro.bench --cluster --cluster-chaos plan.json`` is the
+**fleet chaos harness**: the same exhibit under a
+:class:`~repro.faults.FaultPlan` whose scheduled ``device_failures``
+kill shards mid-run, with N-way replication (``--cluster-replication``)
+standing between the failures and the tenants.  After the run every
+acked write is audited against the surviving replicas
+(:meth:`~repro.cluster.replication.ReplicationManager.audit_durability`)
+and the verdict decides the exit code: ``RECOVERED`` (0) — redundancy
+restored, every acked block readable byte-exact; ``DEGRADED`` (1) —
+data intact but a range is still under-replicated; ``DATA-LOSS`` (2) —
+an acked block has no surviving intact copy.  Chaos runs skip the
+forced migration kick so the failover path is exercised in isolation.
 """
 
 from __future__ import annotations
@@ -30,6 +43,7 @@ from repro.cluster import (
     TenantSpec,
     build_cluster,
 )
+from repro.faults.plan import FaultPlan
 from repro.traces.multitenant import TenantStream, make_tenant_streams
 
 __all__ = ["ClusterRunReport", "tenant_roster", "run_cluster"]
@@ -78,7 +92,12 @@ class ClusterRunReport:
 
     @property
     def exit_code(self) -> int:
-        return 0 if self.ok else 1
+        """0 clean, 1 invariant failure / DEGRADED, 2 DATA-LOSS."""
+        code = 0 if self.ok else 1
+        d = self.outcome.durability
+        if d is not None:
+            code = max(code, d.exit_code)
+        return code
 
     def render(self) -> str:
         out = self.outcome
@@ -121,6 +140,35 @@ class ClusterRunReport:
             f"fleet: WA {out.fleet_wa:.3f}, imbalance {out.imbalance:.3f}, "
             f"energy {out.energy.total_joules:.1f} J"
         )
+        if out.replication is not None:
+            r = out.replication
+            lines.append(
+                f"replication: {r.replica_writes} replica writes "
+                f"({r.replica_bytes / 1e6:.2f} MB), {r.retries} retries, "
+                f"{r.failovers} read failovers, {r.hedged_reads} hedged "
+                f"({r.hedge_wins} wins), {r.quorum_failures} quorum misses"
+            )
+            lines.append(
+                f"recovery: {r.shards_failed} shard(s) failed, rebuilds "
+                f"{r.rebuilds_completed}/{r.rebuilds_started} completed "
+                f"({r.rebuilds_abandoned} abandoned, "
+                f"{r.rebuild_bytes / 1e6:.2f} MB recopied), "
+                f"{r.unrecovered_parts} unrecovered parts"
+            )
+        if out.health_states:
+            dead = ", ".join(out.dead_shards) if out.dead_shards else "none"
+            lines.append(
+                f"health: {sum(1 for s in out.health_states.values() if s != 'dead')}"
+                f"/{len(out.health_states)} shards alive (dead: {dead})"
+            )
+        if out.durability is not None:
+            d = out.durability
+            lines.append(
+                f"durability: {d.checked_blocks} acked blocks audited, "
+                f"{len(d.lost)} lost, {len(d.corrupt)} corrupt, "
+                f"{len(d.under_replicated)} range(s) under-replicated "
+                f"-> {d.verdict}"
+            )
         if self.critical is not None:
             lines.append("")
             lines.append(self.critical.render())
@@ -151,6 +199,10 @@ def run_cluster(
     sampler=None,
     trace: bool = False,
     alerts=None,
+    fault_plan: Optional[FaultPlan] = None,
+    replication_factor: int = 1,
+    quorum: str = "majority",
+    hedge_reads: bool = False,
 ) -> ClusterRunReport:
     """Run the fleet exhibit: interleaved tenants + one live migration.
 
@@ -167,11 +219,25 @@ def run_cluster(
     failure.  ``alerts`` optionally takes a
     :class:`~repro.telemetry.alerts.BurnRateEngine` to ride the
     sampler's ticks (requires ``sampler``).
+
+    ``fault_plan`` switches the exhibit into **chaos mode**: scheduled
+    shard failures are armed, the health monitor + replication manager
+    attach (``replication_factor`` copies per range, acked at
+    ``quorum``), the forced migration kick is skipped, and the post-run
+    durability audit grades the recovery (see the module docstring for
+    the verdict/exit-code convention).  With ``replication_factor=1``
+    and no fault plan the run is bit-identical to the pre-replication
+    exhibit.
     """
     specs = tenant_roster(n_tenants)
     fleet = build_cluster(
         specs,
-        ClusterReplayConfig(n_shards=n_shards, capacity_mb=capacity_mb),
+        ClusterReplayConfig(
+            n_shards=n_shards, capacity_mb=capacity_mb,
+            fault_plan=fault_plan,
+            replication_factor=replication_factor,
+            quorum=quorum, hedge_reads=hedge_reads,
+        ),
         tracing=trace,
     )
     replayer = ClusterReplayer(fleet)
@@ -219,16 +285,37 @@ def run_cluster(
             fleet.orchestrator.migrate(ridx, dst)
         )
 
-    fleet.sim.schedule_at(kick_at, _kick)
+    replicated = replication_factor > 1 or fault_plan is not None
+    if not replicated:
+        # Replicated/chaos runs exercise the failover path in isolation:
+        # the forced migration moves only a range's primary copy (and
+        # discards the source), which would leave the replica placement
+        # deliberately inconsistent mid-audit.
+        fleet.sim.schedule_at(kick_at, _kick)
     outcome = replayer.run()
 
     failures: List[str] = []
-    if outcome.lost_writes:
+    if outcome.durability is not None:
+        # The durability audit is the authority under replication: the
+        # primary-mapping invariant below cannot see a block that
+        # survives on a non-primary replica (quorum=one after a
+        # failover), so its losses fold into the audit instead.
+        if outcome.durability.lost:
+            failures.append(
+                f"{len(outcome.durability.lost)} acked blocks lost "
+                f"(e.g. {outcome.durability.lost[:5]})"
+            )
+        if outcome.durability.corrupt:
+            failures.append(
+                f"{len(outcome.durability.corrupt)} acked blocks corrupt "
+                f"(e.g. {outcome.durability.corrupt[:5]})"
+            )
+    elif outcome.lost_writes:
         failures.append(
             f"{len(outcome.lost_writes)} acked writes lost "
             f"(blocks {outcome.lost_writes[:5]}...)"
         )
-    if n_shards >= 2 and not migrations:
+    if not replicated and n_shards >= 2 and not migrations:
         failures.append("no migration was started")
     for m in migrations:
         if not m.done:

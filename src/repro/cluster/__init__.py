@@ -13,6 +13,11 @@ virtual clock:
   tracking and imbalance detection;
 - :mod:`repro.cluster.migration` — live range migration
   (copy-then-cutover with a dual-write window);
+- :mod:`repro.cluster.replication` — N-way replica placement, quorum
+  writes, failover/hedged reads, retry budgets and emergency
+  re-replication after a shard death;
+- :mod:`repro.cluster.health` — sim-clock heartbeat probing and the
+  alive/suspect/dead state machine that triggers recovery;
 - :mod:`repro.cluster.fleet` — fleet assembly and the cluster replay
   harness.
 
@@ -33,10 +38,18 @@ from repro.cluster.fleet import (
     TenantReport,
     build_cluster,
 )
+from repro.cluster.health import HealthMonitor, ShardHealth
 from repro.cluster.migration import (
     Migration,
     MigrationOrchestrator,
     MigrationStats,
+)
+from repro.cluster.replication import (
+    DurabilityReport,
+    ReplicationConfig,
+    ReplicationManager,
+    ReplicationStats,
+    quorum_need,
 )
 from repro.cluster.routing import ClusterDistributer, ClusterStats, HashRing
 from repro.cluster.tenants import (
@@ -51,7 +64,10 @@ __all__ = [
     "CapacityBalancer", "ShardCapacity",
     "ClusterFleet", "ClusterOutcome", "ClusterReplayConfig",
     "ClusterReplayer", "ShardReport", "TenantReport", "build_cluster",
+    "HealthMonitor", "ShardHealth",
     "Migration", "MigrationOrchestrator", "MigrationStats",
+    "DurabilityReport", "ReplicationConfig", "ReplicationManager",
+    "ReplicationStats", "quorum_need",
     "ClusterDistributer", "ClusterStats", "HashRing",
     "QoSScheduler", "TenantSpec", "TenantState", "TenantStats",
     "TokenBucket",

@@ -23,10 +23,18 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.capacity import CapacityBalancer, ShardCapacity
+from repro.cluster.health import HealthMonitor
 from repro.cluster.migration import MigrationOrchestrator, MigrationStats
+from repro.cluster.replication import (
+    DurabilityReport,
+    ReplicationConfig,
+    ReplicationManager,
+    ReplicationStats,
+)
 from repro.cluster.routing import ClusterDistributer, ClusterStats
 from repro.cluster.tenants import TenantSpec
 from repro.core.config import EDCConfig
+from repro.faults.plan import FaultPlan, FaultStats
 from repro.bench.schemes import build_device
 from repro.energy.model import EnergyModel, EnergyReport
 from repro.flash.geometry import NandTiming, X25E_TIMING, x25e_like
@@ -67,6 +75,24 @@ class ClusterReplayConfig:
     ring_seed: int = 0
     #: per-tenant namespace size; ``None`` derives the single-device fold
     namespace_bytes: Optional[int] = None
+    #: :class:`~repro.faults.FaultPlan` driving per-shard injectors
+    #: (scheduled ``DeviceFailure`` names must match ``shard<i>``);
+    #: ``None`` keeps the fleet fault-free and injector-free
+    fault_plan: Optional[FaultPlan] = None
+    #: replicas per range; 1 + no fault plan keeps routing single-copy
+    #: and bit-identical to the pre-replication cluster
+    replication_factor: int = 1
+    #: write-ack rule: ``one`` | ``majority`` | ``all``
+    quorum: str = "majority"
+    hedge_reads: bool = False
+    #: per-part end-to-end deadline for retries; ``None`` disables
+    replication_deadline_s: Optional[float] = None
+    #: health-monitor probe cadence and miss thresholds
+    health_interval_s: float = 2e-3
+    health_suspect_after: int = 1
+    health_dead_after: int = 3
+    #: admission rate of rebuild copy traffic (``None`` = unthrottled)
+    rebuild_iops: Optional[float] = 4000.0
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -75,6 +101,19 @@ class ClusterReplayConfig:
             raise ValueError(
                 f"fold_fraction must be in (0,1]: {self.fold_fraction!r}"
             )
+        if self.replication_factor < 1:
+            raise ValueError(
+                f"replication_factor must be >= 1: {self.replication_factor!r}"
+            )
+        if self.quorum not in ("one", "majority", "all"):
+            raise ValueError(
+                f"quorum must be 'one', 'majority' or 'all': {self.quorum!r}"
+            )
+
+    @property
+    def fault_tolerant(self) -> bool:
+        """Whether the fleet needs the replication manager attached."""
+        return self.replication_factor > 1 or self.fault_plan is not None
 
     def resolved_namespace_bytes(self) -> int:
         if self.namespace_bytes is not None:
@@ -99,6 +138,13 @@ class ClusterFleet:
     #: cluster-wide :class:`~repro.telemetry.disttrace.DistTracer`, or
     #: ``None`` when the fleet was built without tracing
     tracing: Optional[object] = None
+    #: :class:`~repro.cluster.replication.ReplicationManager`, attached
+    #: when ``replication_factor > 1`` or a fault plan is present
+    replication: Optional[ReplicationManager] = None
+    #: :class:`~repro.cluster.health.HealthMonitor` (fault plans only)
+    health: Optional[HealthMonitor] = None
+    #: per-shard fault injectors, in shard order (fault plans only)
+    injectors: List[object] = field(default_factory=list)
 
     def flush(self) -> None:
         """Flush every shard's Sequentiality Detector tail."""
@@ -160,10 +206,52 @@ def build_cluster(
     )
     orchestrator = MigrationOrchestrator(cluster)
     balancer = CapacityBalancer(cluster)
+    injectors: List[object] = []
+    if cfg.fault_plan is not None:
+        # Per-shard attachment: every shard gets its own deterministic
+        # injector stream, and scheduled DeviceFailures arm against the
+        # named shard.  (FaultPlan.attach targets a single backend stack,
+        # so the fleet wires its shards itself.)
+        for name, ssd in backends.items():
+            ssd.injector = cfg.fault_plan.injector_for(name)
+            injectors.append(ssd.injector)
+        for failure in cfg.fault_plan.device_failures:
+            ssd = backends.get(failure.device)
+            if ssd is None:
+                raise ValueError(
+                    f"fault plan fails unknown shard {failure.device!r}; "
+                    f"have: {sorted(backends)}"
+                )
+            sim.schedule_at(
+                failure.at, (lambda s=ssd: s.fail_now()), daemon=True
+            )
+    manager = None
+    health = None
+    if cfg.fault_tolerant:
+        manager = ReplicationManager(
+            cluster,
+            ReplicationConfig(
+                factor=cfg.replication_factor,
+                quorum=cfg.quorum,
+                hedge_reads=cfg.hedge_reads,
+                deadline_s=cfg.replication_deadline_s,
+                rebuild_iops=cfg.rebuild_iops,
+            ),
+        )
+    if cfg.fault_plan is not None:
+        health = HealthMonitor(
+            sim, devices,
+            interval=cfg.health_interval_s,
+            suspect_after=cfg.health_suspect_after,
+            dead_after=cfg.health_dead_after,
+            on_dead=manager.on_shard_dead,
+        )
+        health.start()
     return ClusterFleet(
         sim=sim, cluster=cluster, orchestrator=orchestrator,
         balancer=balancer, devices=devices, backends=backends, config=cfg,
-        tracing=dist,
+        tracing=dist, replication=manager, health=health,
+        injectors=injectors,
     )
 
 
@@ -180,6 +268,8 @@ class TenantReport:
     p95_latency: float
     slo: Optional[float]
     slo_violations: int
+    #: requests that exhausted every recovery path (quorum + retries)
+    unrecovered: int = 0
 
     @property
     def slo_violation_rate(self) -> float:
@@ -214,10 +304,24 @@ class ClusterOutcome:
     imbalance: float
     #: acked-but-unmapped global blocks; non-empty means data loss
     lost_writes: List[int]
+    #: replication-tier accounting (``None`` without the manager)
+    replication: Optional[ReplicationStats] = None
+    #: post-run acked-write durability audit (``None`` without the manager)
+    durability: Optional[DurabilityReport] = None
+    #: shards the health monitor declared dead, sorted
+    dead_shards: List[str] = field(default_factory=list)
+    #: final health state per shard (empty without a fault plan)
+    health_states: Dict[str, str] = field(default_factory=dict)
+    #: aggregate injector accounting (``None`` without a fault plan)
+    fault_stats: Optional[FaultStats] = None
 
     @property
     def total_slo_violations(self) -> int:
         return sum(t.slo_violations for t in self.tenants.values())
+
+    @property
+    def total_unrecovered(self) -> int:
+        return sum(t.unrecovered for t in self.tenants.values())
 
 
 class ClusterReplayError(RuntimeError):
@@ -276,6 +380,8 @@ class ClusterReplayer:
         cluster = fleet.cluster
         tenants: Dict[str, TenantReport] = {}
         for name, st in cluster.scheduler.tenants.items():
+            if st.spec.internal:  # e.g. the rebuild tenant
+                continue
             tenants[name] = TenantReport(
                 name=name,
                 submitted=st.stats.submitted,
@@ -286,6 +392,7 @@ class ClusterReplayer:
                 p95_latency=st.latency.percentile(95),
                 slo=st.spec.slo,
                 slo_violations=st.stats.slo_violations,
+                unrecovered=st.stats.unrecovered,
             )
         snap = fleet.balancer.snapshot()
         shards: Dict[str, ShardReport] = {}
@@ -328,4 +435,22 @@ class ClusterReplayer:
             energy=energy,
             imbalance=fleet.balancer.imbalance(snap),
             lost_writes=cluster.check_no_lost_writes(),
+            replication=(
+                fleet.replication.stats
+                if fleet.replication is not None else None
+            ),
+            durability=(
+                fleet.replication.audit_durability()
+                if fleet.replication is not None else None
+            ),
+            dead_shards=(
+                fleet.health.dead_shards() if fleet.health is not None else []
+            ),
+            health_states=(
+                fleet.health.states() if fleet.health is not None else {}
+            ),
+            fault_stats=(
+                fleet.config.fault_plan.total_stats(fleet.injectors)
+                if fleet.config.fault_plan is not None else None
+            ),
         )

@@ -59,6 +59,9 @@ class MigrationStats:
     skipped_dirty_blocks: int = 0
     #: stale source blocks dropped at cleanup
     discarded_source_blocks: int = 0
+    #: migrations aborted because their source or destination left the
+    #: cluster mid-copy (shard failure / decommission)
+    aborted: int = 0
 
 
 @dataclass
@@ -69,8 +72,11 @@ class Migration:
     src: str
     dst: str
     started_at: float
-    state: str = "quiescing"  # quiescing -> copying -> cleanup -> done
+    #: quiescing -> copying -> cleanup -> done, or -> aborted at any point
+    state: str = "quiescing"
     finished_at: Optional[float] = None
+    #: why the migration was aborted (``None`` unless state == "aborted")
+    abort_reason: Optional[str] = None
     #: live blocks enumerated at the start of the copy phase
     snapshot_blocks: int = 0
     copied_blocks: int = 0
@@ -106,6 +112,44 @@ class MigrationOrchestrator:
         #: copy queues per active migration
         self._queues: Dict[int, Deque[int]] = {}
         cluster.on_dual_write = self._note_dirty
+        # Membership changes must not leave a dangling dual-write window
+        # or override: a shard leaving the cluster deterministically
+        # aborts every migration it is part of.
+        cluster.on_membership_change = self.on_shard_removed
+
+    # ------------------------------------------------------------------
+    def on_shard_removed(self, name: str) -> None:
+        """A shard is leaving the cluster (failure or decommission).
+
+        Called by :meth:`ClusterDistributer.decommission_shard` *before*
+        the ring changes.  Every active migration whose source or
+        destination is the departing shard is aborted: its dual-write
+        window closes (so writes stop duplicating to/acking on the dead
+        shard), its copy queue is dropped, and in-flight copy callbacks
+        become no-ops.  Cut-over never happened, so routing falls back
+        to the ring — no dangling override can name the shard.
+        """
+        for m in list(self.active.values()):
+            if m.src == name or m.dst == name:
+                self._abort(m, f"shard {name!r} removed from the cluster")
+
+    def _abort(self, m: Migration, reason: str) -> None:
+        c = self.cluster
+        c.dual_writes.pop(m.range_idx, None)
+        # A completed cutover is permanent (the data already moved);
+        # aborting only cancels migrations that never cut over, so any
+        # override for this range predates us and stays.
+        m.state = "aborted"
+        m.abort_reason = reason
+        m.finished_at = c.sim.now
+        self.active.pop(m.range_idx, None)
+        self._queues.pop(m.range_idx, None)
+        self.completed.append(m)
+        self.stats.aborted += 1
+        if c.tracer.enabled:
+            c.tracer.migration_done(m)
+        if m.on_done is not None:
+            m.on_done(m)
 
     # ------------------------------------------------------------------
     def _note_dirty(self, blocks: List[int]) -> None:
@@ -166,6 +210,8 @@ class MigrationOrchestrator:
 
     # ------------------------------------------------------------------
     def _start_copy(self, m: Migration) -> None:
+        if m.state == "aborted":
+            return  # the quiesce barrier fired after an abort
         c = self.cluster
         m.state = "copying"
         if c.tracer.enabled:
@@ -183,7 +229,9 @@ class MigrationOrchestrator:
         self._next_chunk(m)
 
     def _next_chunk(self, m: Migration) -> None:
-        queue = self._queues[m.range_idx]
+        queue = self._queues.get(m.range_idx)
+        if m.state == "aborted" or queue is None:
+            return
         chunk: List[int] = []
         while queue and len(chunk) < self.chunk_blocks:
             blk = queue.popleft()
@@ -213,6 +261,9 @@ class MigrationOrchestrator:
         lba = blk * bs
 
         def _read_done(_req: IORequest, _lat: float) -> None:
+            if m.state == "aborted":
+                done()
+                return
             if blk in m.dirty:
                 # A foreground write landed while our source read was in
                 # flight; its dual-write already put the newer version on
@@ -228,6 +279,9 @@ class MigrationOrchestrator:
             c.shards[m.dst].submit(wreq)
 
         def _write_done(_req: IORequest, _lat: float) -> None:
+            if m.state == "aborted":
+                done()
+                return
             m.copied_blocks += 1
             m.copied_bytes += bs
             self.stats.copied_blocks += 1
@@ -242,6 +296,8 @@ class MigrationOrchestrator:
 
     # ------------------------------------------------------------------
     def _cutover(self, m: Migration) -> None:
+        if m.state == "aborted":
+            return
         c = self.cluster
         # 4. atomic reroute: from this instant every new request for the
         #    range goes to the destination; the window closes.
@@ -256,6 +312,8 @@ class MigrationOrchestrator:
         )
 
     def _cleanup(self, m: Migration) -> None:
+        if m.state == "aborted":
+            return  # the drain barrier fired after an abort
         c = self.cluster
         src_dev = c.shards[m.src]
         dropped = src_dev.discard(

@@ -101,6 +101,33 @@ class HashRing:
             i = 0
         return self._points[i][1]
 
+    def successors(self, key: object, n: int) -> List[str]:
+        """The first ``n`` *distinct* shards on the successor walk from
+        ``key`` — replica placement.
+
+        Walks the ring clockwise from the key's hash, skipping virtual
+        nodes of shards already collected, so the list holds ``min(n,
+        len(self))`` distinct names and ``successors(key, 1)[0] ==
+        shard_for(key)``.  Because removing a shard only deletes its own
+        points (never reordering the survivors'), the post-removal list
+        is always the old list minus the removed shard with at most one
+        new name appended — the stability failover and re-replication
+        rely on.
+        """
+        if n < 1:
+            raise ValueError(f"n must be >= 1: {n!r}")
+        h = self._hash(f"{self.seed}|key|{key}")
+        start = bisect_left(self._points, (h, ""))
+        out: List[str] = []
+        npoints = len(self._points)
+        for step in range(npoints):
+            name = self._points[(start + step) % npoints][1]
+            if name not in out:
+                out.append(name)
+                if len(out) == n:
+                    break
+        return out
+
     def share_of(self) -> Dict[str, float]:
         """Fraction of hash space owned per shard (arc-length balance)."""
         space = 1 << 64
@@ -128,6 +155,9 @@ class ClusterStats:
     #: duplicate writes issued to migration destinations (dual-write window)
     dual_writes: int = 0
     dual_write_bytes: int = 0
+    #: shard parts that exhausted every recovery path (device error with
+    #: no live replica / retry budget left) — the tenant's data-loss count
+    unrecovered_parts: int = 0
 
 
 class ClusterDistributer:
@@ -184,8 +214,19 @@ class ClusterDistributer:
         #: migration hook: called with the block numbers of every
         #: foreground write duplicated during a dual-write window
         self.on_dual_write: Optional[Callable[[List[int]], None]] = None
-        #: id(request part) -> (part, completion callback)
-        self._inflight: Dict[int, Tuple[IORequest, Callable]] = {}
+        #: membership hook: called with the shard name *before* it is
+        #: removed from the ring (the migration orchestrator aborts any
+        #: copy touching it — see :meth:`decommission_shard`)
+        self.on_membership_change: Optional[Callable[[str], None]] = None
+        #: optional :class:`~repro.cluster.replication.ReplicationManager`;
+        #: ``None`` (the default) keeps single-copy routing bit-identical
+        #: to the pre-replication cluster
+        self.replication = None
+        #: shards removed from routing (dead / decommissioned); their
+        #: device objects stay in :attr:`shards` for reporting
+        self.decommissioned: Set[str] = set()
+        #: id(request part) -> (part, completion callback, error callback)
+        self._inflight: Dict[int, Tuple[IORequest, Callable, Optional[Callable]]] = {}
         #: registered parts in flight per range index (migration quiesce)
         self._range_parts: Dict[int, Set[int]] = {}
         #: [pending part-id set, callback] barriers (see :meth:`when_drained`)
@@ -196,6 +237,11 @@ class ClusterDistributer:
         self._user_done: Dict[int, Callable[[], None]] = {}
         for dev in self.shards.values():
             dev.on_request_complete = self._request_completed
+            # Escalate device-level failures instead of absorbing them:
+            # a failed sub-I/O reaches the cluster error path (per-tenant
+            # unrecovered accounting, replica failover).  Inert on a
+            # fault-free run — the hook only fires on actual errors.
+            dev.on_request_error = self._request_failed
 
     # ------------------------------------------------------------------
     # addressing & routing
@@ -208,8 +254,17 @@ class ClusterDistributer:
         return lba // self.range_bytes
 
     def owner_of(self, range_idx: int) -> str:
-        """Current owner of a range: cutover override, else the ring."""
+        """Current owner of a range: cutover override, else the ring.
+
+        With a replication manager attached the owner is the range's
+        first *live* replica (the read/ack primary); a dead override is
+        skipped the same way.
+        """
         override = self.overrides.get(range_idx)
+        if override is not None and override not in self.decommissioned:
+            return override
+        if self.replication is not None:
+            return self.replication.primary_for(range_idx)
         if override is not None:
             return override
         return self.ring.shard_for(range_idx)
@@ -248,8 +303,18 @@ class ClusterDistributer:
         covered = self.ranges_covered(request.lba, request.nbytes)
         if len(covered) == 1:
             return (request,)
-        owners = {self.owner_of(r) for r in covered}
-        if len(owners) == 1 and not any(r in self.dual_writes for r in covered):
+        if self.replication is not None:
+            # Two ranges sharing a primary can still differ in their
+            # secondary replicas; an unsplit write would fan out to the
+            # first range's set only, silently under-replicating the
+            # second.  Route whole only when the full sets agree.
+            placements = {
+                tuple(self.replication.targets(r)) for r in covered
+            }
+            same = len(placements) == 1
+        else:
+            same = len({self.owner_of(r) for r in covered}) == 1
+        if same and not any(r in self.dual_writes for r in covered):
             return (request,)
         rb = self.range_bytes
         parts: List[IORequest] = []
@@ -317,7 +382,12 @@ class ClusterDistributer:
         bs = self.block_size
         for part in self._split(IORequest(g.time, g.op, g.lba, nbytes)):
             ridx = self.range_of(part.lba)
-            targets = [self.owner_of(ridx)]
+            if self.replication is not None:
+                # Every live replica holding the range must drop the
+                # blocks, or a later failover would resurrect them.
+                targets = self.replication.trim_targets(ridx, part)
+            else:
+                targets = [self.owner_of(ridx)]
             window = self.dual_writes.get(ridx)
             if window is not None:
                 targets = [t for t in window if t not in targets] + targets
@@ -360,10 +430,11 @@ class ClusterDistributer:
         bs = self.block_size
         remaining = [len(parts)]
 
-        def _part_done(part: IORequest, _latency: float) -> None:
-            if self.tracer.enabled:
-                self.tracer.part_done(part)
-            if part.is_write:
+        def _finish_part(part: IORequest, ok: bool) -> None:
+            if ok and part.is_write:
+                # Only successful writes enter the acked set: a part that
+                # exhausted every recovery path was *not* acked, so the
+                # lost-write invariant must not expect it to be durable.
                 start = part.lba // bs
                 end = (part.lba + part.nbytes + bs - 1) // bs
                 self._acked_blocks.update(range(start, end))
@@ -377,36 +448,66 @@ class ClusterDistributer:
                     user_cb()
 
         for part in parts:
-            ridx = self.range_of(part.lba)
-            window = self.dual_writes.get(ridx)
-            if window is not None and part.is_write:
-                src, dst = window
-                # Duplicate to the migration destination; the source
-                # remains the ack authority, so the copy is fire-and-
-                # forget (unregistered: its completion is ignored).
-                dup = IORequest(part.time, part.op, part.lba, part.nbytes)
-                self.stats.dual_writes += 1
-                self.stats.dual_write_bytes += part.nbytes
-                if self.on_dual_write is not None:
-                    start = part.lba // bs
-                    end = (part.lba + part.nbytes + bs - 1) // bs
-                    self.on_dual_write(list(range(start, end)))
-                if self.tracer.enabled:
-                    # Attribute the duplicate's device work to the
-                    # migration, not the tenant request it shadows.
-                    self.tracer.dual_write_issued(ridx, dup, dst)
-                self.shards[dst].submit(dup)
-                owner = src
-            elif window is not None:
-                owner = window[0]  # reads stay on the source until cutover
-            else:
-                owner = self.owner_of(ridx)
-            self._inflight[id(part)] = (part, _part_done)
-            for r in self.ranges_covered(part.lba, part.nbytes):
-                self._range_parts.setdefault(r, set()).add(id(part))
+            self._issue_part(st, request, part, arrival, _finish_part)
+
+    def _issue_part(
+        self,
+        st: TenantState,
+        request: IORequest,
+        part: IORequest,
+        arrival: float,
+        finish: Callable[[IORequest, bool], None],
+    ) -> None:
+        """Route one shard part — replicated when a manager is attached,
+        else the single-copy path (bit-identical to the pre-replication
+        cluster)."""
+        if self.replication is not None:
+            self.replication.issue_part(st, request, part, arrival, finish)
+            return
+        bs = self.block_size
+        ridx = self.range_of(part.lba)
+        window = self.dual_writes.get(ridx)
+        if window is not None and part.is_write:
+            src, dst = window
+            # Duplicate to the migration destination; the source
+            # remains the ack authority, so the copy is fire-and-
+            # forget (unregistered: its completion is ignored).
+            dup = IORequest(part.time, part.op, part.lba, part.nbytes)
+            self.stats.dual_writes += 1
+            self.stats.dual_write_bytes += part.nbytes
+            if self.on_dual_write is not None:
+                start = part.lba // bs
+                end = (part.lba + part.nbytes + bs - 1) // bs
+                self.on_dual_write(list(range(start, end)))
             if self.tracer.enabled:
-                self.tracer.part_issued(request, part, owner)
-            self.shards[owner].submit(part)
+                # Attribute the duplicate's device work to the
+                # migration, not the tenant request it shadows.
+                self.tracer.dual_write_issued(ridx, dup, dst)
+            self.shards[dst].submit(dup)
+            owner = src
+        elif window is not None:
+            owner = window[0]  # reads stay on the source until cutover
+        else:
+            owner = self.owner_of(ridx)
+
+        def _done(p: IORequest, _latency: float) -> None:
+            if self.tracer.enabled:
+                self.tracer.part_done(p)
+            finish(p, True)
+
+        def _err(p: IORequest, exc: BaseException) -> None:
+            if self.tracer.enabled:
+                self.tracer.part_done(p)
+            st.stats.unrecovered += 1
+            self.stats.unrecovered_parts += 1
+            finish(p, False)
+
+        self._inflight[id(part)] = (part, _done, _err)
+        for r in self.ranges_covered(part.lba, part.nbytes):
+            self._range_parts.setdefault(r, set()).add(id(part))
+        if self.tracer.enabled:
+            self.tracer.part_issued(request, part, owner)
+        self.shards[owner].submit(part)
 
     # ------------------------------------------------------------------
     # completion plumbing
@@ -416,35 +517,62 @@ class ClusterDistributer:
         if entry is None or entry[0] is not request:
             return  # dual-write duplicate or migration-internal request
         del self._inflight[id(request)]
-        part, cb = entry
+        part, cb, _err = entry
+        self._deregister(part)
+        cb(part, latency)
+        self._fire_drain_waiters(id(request))
+
+    def _request_failed(self, request: IORequest, exc: BaseException) -> None:
+        """Device error path (installed as every shard's
+        ``on_request_error``): deregister the part and route the failure
+        to its error callback.  A registered request without one (legacy
+        internal I/O) is dropped after deregistration — its owner's
+        barrier stalls harmlessly, which only happens when the owning
+        background job was already aborted with its shard."""
+        entry = self._inflight.get(id(request))
+        if entry is None or entry[0] is not request:
+            return
+        del self._inflight[id(request)]
+        part, _cb, err = entry
+        self._deregister(part)
+        if err is not None:
+            err(part, exc)
+        # Quiesce barriers must see failed parts drain too, or a
+        # migration waiting on a request that died with its shard would
+        # hang forever.
+        self._fire_drain_waiters(id(request))
+
+    def _deregister(self, part: IORequest) -> None:
         for r in self.ranges_covered(part.lba, part.nbytes):
             ids = self._range_parts.get(r)
             if ids is not None:
                 ids.discard(id(part))
-        cb(part, latency)
-        if self._drain_waiters:
-            rid = id(request)
-            fired = []
-            for waiter in self._drain_waiters:
-                waiter[0].discard(rid)
-                if not waiter[0]:
-                    fired.append(waiter)
-            for waiter in fired:
-                self._drain_waiters.remove(waiter)
-                waiter[1]()
+
+    def _fire_drain_waiters(self, rid: int) -> None:
+        if not self._drain_waiters:
+            return
+        fired = []
+        for waiter in self._drain_waiters:
+            waiter[0].discard(rid)
+            if not waiter[0]:
+                fired.append(waiter)
+        for waiter in fired:
+            self._drain_waiters.remove(waiter)
+            waiter[1]()
 
     def register_internal(
         self,
         request: IORequest,
         on_complete: Callable[[IORequest, float], None],
+        on_error: Optional[Callable[[IORequest, BaseException], None]] = None,
     ) -> None:
-        """Track a cluster-internal request (migration copy I/O).
+        """Track a cluster-internal request (migration / rebuild copy I/O).
 
         The request must then be submitted straight to a shard device;
-        its completion routes to ``on_complete`` without touching tenant
-        stats or the acked-write set.
+        its completion routes to ``on_complete`` (errors to ``on_error``)
+        without touching tenant stats or the acked-write set.
         """
-        self._inflight[id(request)] = (request, on_complete)
+        self._inflight[id(request)] = (request, on_complete, on_error)
 
     def inflight_in(self, ranges: Iterable[int]) -> Set[int]:
         """Ids of registered parts currently in flight to ``ranges``."""
@@ -466,6 +594,30 @@ class ClusterDistributer:
             self.sim.defer(callback)
             return
         self._drain_waiters.append([pending, callback])
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def decommission_shard(self, name: str) -> None:
+        """Remove ``name`` from routing after a failure (or retirement).
+
+        The safe membership-change path: active migrations touching the
+        shard are aborted first (via :attr:`on_membership_change`), then
+        its ring points go and any cutover override still naming it is
+        dropped, so no range can resolve to the dead shard.  The device
+        object stays in :attr:`shards` for final reporting.  Idempotent.
+        """
+        if name not in self.shards:
+            raise ValueError(f"unknown shard {name!r}")
+        if name in self.decommissioned:
+            return
+        if self.on_membership_change is not None:
+            self.on_membership_change(name)
+        self.decommissioned.add(name)
+        if name in self.ring.shards and len(self.ring) > 1:
+            self.ring.remove_shard(name)
+        for ridx in [r for r, s in self.overrides.items() if s == name]:
+            del self.overrides[ridx]
 
     # ------------------------------------------------------------------
     # invariants & reporting

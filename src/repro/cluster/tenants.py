@@ -100,6 +100,9 @@ class TenantSpec:
     weight: float = 1.0
     #: latency SLO in seconds (per-request completion target)
     slo: Optional[float] = None
+    #: internal (cluster-owned) tenants carry background traffic such as
+    #: replica rebuild; they are excluded from per-tenant fleet reports.
+    internal: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -123,6 +126,9 @@ class TenantStats:
     slo_violations: int = 0
     #: peak backlog length observed
     max_backlog: int = 0
+    #: requests that failed permanently (quorum unreachable after the
+    #: retry budget, or a device error with no surviving replica)
+    unrecovered: int = 0
 
 
 class TenantState:
@@ -187,6 +193,9 @@ class QoSScheduler:
             spec.name: TenantState(spec, i) for i, spec in enumerate(tenants)
         }
         self._dispatch = dispatch
+        #: per-tenant dispatch overrides (internal tenants route to their
+        #: own sink, e.g. the replication manager's rebuild engine)
+        self._sinks: Dict[str, Callable[[TenantState, IORequest, float], None]] = {}
         #: observational hook ``(state, request, now, eta)`` fired when a
         #: request misses direct admission; ``eta`` is the bucket's
         #: token-availability instant (``now`` for unthrottled tenants).
@@ -201,6 +210,32 @@ class QoSScheduler:
     def bind(self, dispatch: Callable[[TenantState, IORequest, float], None]) -> None:
         """Late-bind the dispatch sink (the cluster router)."""
         self._dispatch = dispatch
+
+    def add_tenant(
+        self,
+        spec: TenantSpec,
+        sink: Optional[Callable[[TenantState, IORequest, float], None]] = None,
+    ) -> TenantState:
+        """Register a tenant after construction (e.g. an internal one).
+
+        ``sink`` overrides the scheduler-wide dispatch callable for this
+        tenant only; internal background producers (replica rebuild) use
+        it to receive their own admitted requests while still competing
+        for dispatch under the same token-bucket + EDF arbitration as
+        foreground tenants.
+        """
+        if spec.name in self.tenants:
+            raise ValueError(f"tenant {spec.name!r} already registered")
+        st = TenantState(spec, len(self.tenants))
+        self.tenants[spec.name] = st
+        if sink is not None:
+            self._sinks[spec.name] = sink
+        return st
+
+    def _sink_for(
+        self, st: TenantState
+    ) -> Callable[[TenantState, IORequest, float], None]:
+        return self._sinks.get(st.name, self._dispatch)
 
     def state(self, name: str) -> TenantState:
         try:
@@ -229,7 +264,7 @@ class QoSScheduler:
             st.bucket is None or st.bucket.try_consume(now)
         ):
             st.stats.admitted_direct += 1
-            self._dispatch(st, request, now)
+            self._sink_for(st)(st, request, now)
             return
         st.backlog.append((now, request))
         st.stats.queued += 1
@@ -283,7 +318,7 @@ class QoSScheduler:
             arrival, request = st.backlog.popleft()
             if st.bucket is not None and not st.bucket.try_consume(now):
                 raise AssertionError("can_dispatch lied about token availability")
-            self._dispatch(st, request, arrival)
+            self._sink_for(st)(st, request, arrival)
         self._arm()
 
     # ------------------------------------------------------------------

@@ -117,6 +117,16 @@ class EDCBlockDevice:
         #: simulated time.
         self.on_request_complete = None
 
+        #: optional per-request *error* hook ``(request, exc) -> None``.
+        #: When set, a request whose device I/O failed unrecoverably is
+        #: escalated here **instead of** being absorbed into the
+        #: ``unrecovered_*`` counters and completed through
+        #: ``on_request_complete`` — the cluster tier uses it to fail
+        #: over to a replica or charge the tenant's unrecovered count.
+        #: ``None`` (the default) keeps the PR 3 absorb-and-count
+        #: semantics bit-identical.
+        self.on_request_error = None
+
         #: per-block content version counters (bumped on every overwrite)
         self._versions: Dict[int, int] = defaultdict(int)
         #: entry id -> (content run ids, codec name) for reads/verification
@@ -176,6 +186,78 @@ class EDCBlockDevice:
             for run in self.sd.flush_all():
                 self._process_run(run)
         self._cancel_sd_timer()
+
+    def set_version_floor(self, blk: int, version: int) -> None:
+        """Raise block ``blk``'s content-version counter to at least ``version``.
+
+        Used by cluster re-replication when a rebuilt replica joins: the
+        destination's per-block counters must agree with the fleet-wide
+        write history so that future overwrites keep producing the same
+        synthetic content on every replica.  Never lowers a counter.
+        """
+        if self._versions[blk] < version:
+            self._versions[blk] = version
+
+    def ingest_replica(
+        self,
+        lba: int,
+        nbytes: int,
+        versions: Tuple[int, ...],
+        ref: Optional[IORequest] = None,
+    ) -> None:
+        """Store a replica copy of ``[lba, lba+nbytes)`` at explicit versions.
+
+        Cluster rebuild path: unlike :meth:`submit`, this bypasses
+        sequentiality detection and does *not* bump the per-block version
+        counters — the caller supplies the fleet-wide version of each
+        covered block, and the counters are floored to those values so
+        the ingested content is byte-identical to the source replica's.
+        The write is charged honestly (compression CPU, device program,
+        WA, energy) through the normal commit path; completion or error
+        is reported through ``on_request_complete``/``on_request_error``
+        against ``ref``.
+        """
+        bs = self.config.block_size
+        lba, nbytes = self._align(lba, nbytes)
+        start_blk = lba // bs
+        nblocks = nbytes // bs
+        if len(versions) != nblocks:
+            raise ValueError(
+                f"ingest_replica: {nblocks} blocks but {len(versions)} versions"
+            )
+        for i, v in enumerate(versions):
+            if v < 1:
+                raise ValueError(f"ingest_replica: version {v} for block "
+                                 f"{start_blk + i} must be >= 1")
+            self.set_version_floor(start_blk + i, v)
+        self._outstanding += 1
+        run = PendingRun(lba, nbytes, [self.sim.now], [ref])
+        run_ids = tuple(
+            self.content.block_id((start_blk + i) * bs, versions[i])
+            for i in range(nblocks)
+        )
+        iops = self.monitor.calculated_iops(self.sim.now)
+        hint = (
+            self.content.kind_of_id(run_ids[0])
+            if self.config.semantic_hints
+            else None
+        )
+        _codec, plan, fallback = self.plan_for_policy(
+            self.policy, run_ids, iops, hint
+        )
+        if fallback:
+            self.stats.codec_fallbacks += 1
+        vtuple = tuple(versions)
+        if plan.cpu_time > 0:
+            self.cpu.submit(
+                plan.cpu_time,
+                on_complete=lambda job: self._commit_write(
+                    run, plan, run_ids, vtuple, None, job, None
+                ),
+                tag=("ingest", start_blk),
+            )
+        else:
+            self._commit_write(run, plan, run_ids, vtuple)
 
     # ------------------------------------------------------------------
     # address helpers
@@ -369,14 +451,20 @@ class EDCBlockDevice:
         arrivals = list(run.arrivals)
         refs = list(run.refs)
 
-        def _finish() -> None:
+        def _finish(exc: Optional[BaseException] = None) -> None:
             now = self.sim.now
             hook = self.on_request_complete
+            err_hook = self.on_request_error
             for i, arrival in enumerate(arrivals):
                 self.write_latency.add(now - arrival)
                 self._outstanding -= 1
-                if hook is not None and i < len(refs) and refs[i] is not None:
-                    hook(refs[i], now - arrival)
+                ref = refs[i] if i < len(refs) else None
+                if ref is None:
+                    continue
+                if exc is not None and err_hook is not None:
+                    err_hook(ref, exc)
+                elif hook is not None:
+                    hook(ref, now - arrival)
             if aev is not None:
                 self.auditor.on_complete(aev, rec)
             if rec is not None:
@@ -391,8 +479,11 @@ class EDCBlockDevice:
             _finish()
 
         def _device_error(exc: BaseException) -> None:
-            self.unrecovered_writes += 1
-            _finish()
+            if self.on_request_error is None:
+                self.unrecovered_writes += 1
+                _finish()
+            else:
+                _finish(exc)
 
         stream = 0
         if self.config.hot_cold_streams:
@@ -432,6 +523,7 @@ class EDCBlockDevice:
         pieces = self._resolve_read(lba, nbytes)
         arrival = self.sim.now
         remaining = [len(pieces)]
+        errors: List[BaseException] = []
         rrec = self.telemetry.read_started(request) if self._tp_req else None
 
         def _piece_done() -> None:
@@ -441,11 +533,13 @@ class EDCBlockDevice:
                 self._outstanding -= 1
                 if rrec is not None:
                     self.telemetry.read_done(rrec)
-                if self.on_request_complete is not None:
+                if errors and self.on_request_error is not None:
+                    self.on_request_error(request, errors[0])
+                elif self.on_request_complete is not None:
                     self.on_request_complete(request, self.sim.now - arrival)
 
         for piece in pieces:
-            self._issue_read_piece(piece, request, _piece_done, rrec)
+            self._issue_read_piece(piece, request, _piece_done, rrec, errors)
 
     def _resolve_read(
         self, lba: int, nbytes: int
@@ -485,11 +579,15 @@ class EDCBlockDevice:
         request: IORequest,
         done,
         rrec: object = None,
+        errors: Optional[List[BaseException]] = None,
     ) -> None:
         eid, lba, raw_len = piece
 
         def _piece_error(exc: BaseException) -> None:
-            self.unrecovered_reads += 1
+            if errors is not None and self.on_request_error is not None:
+                errors.append(exc)
+            else:
+                self.unrecovered_reads += 1
             done()
 
         if eid is None:

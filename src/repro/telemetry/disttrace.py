@@ -124,6 +124,10 @@ class DistTracer:
         self._queued: Dict[int, float] = {}
         #: range index -> (migration root span, current phase span)
         self._migrations: Dict[int, Tuple[Span, Span]] = {}
+        #: id(replica/hedge attempt request) -> its span (replication)
+        self._attempts: Dict[int, Span] = {}
+        #: range index -> rebuild root span (re-replication)
+        self._rebuilds: Dict[int, Span] = {}
 
     # ------------------------------------------------------------------
     # request path (hooks of ClusterDistributer / QoSScheduler)
@@ -211,6 +215,61 @@ class DistTracer:
                 tenant=rec.tenant, trace_id=rec.trace_id,
                 latency=latency, t=now,
             )
+
+    # ------------------------------------------------------------------
+    # replication path (hooks of ReplicationManager)
+    # ------------------------------------------------------------------
+    def _attempt_issued(self, name: str, part, dup, shard: str) -> None:
+        span = self.tracer.start(
+            name, layer="replica", parent=self._parts.get(id(part)),
+            shard=shard, lba=dup.lba, nbytes=dup.nbytes,
+        )
+        self._attempts[id(dup)] = span
+        self.ctx[id(dup)] = span
+
+    def replica_write_issued(self, part, dup, shard: str) -> None:
+        """One quorum fan-out write is about to be submitted to ``shard``."""
+        self._attempt_issued("replica.write", part, dup, shard)
+
+    def replica_read_issued(self, part, dup, shard: str) -> None:
+        """A read attempt (primary or failover) heads to ``shard``."""
+        self._attempt_issued("replica.read", part, dup, shard)
+
+    def hedge_issued(self, part, dup, shard: str) -> None:
+        """A hedged read fired at the tenant's p95 staleness."""
+        self._attempt_issued("shard.hedge", part, dup, shard)
+
+    def attempt_done(self, req) -> None:
+        """A replica/hedge attempt completed (or errored)."""
+        span = self._attempts.pop(id(req), None)
+        if span is not None:
+            self.tracer.finish(span)
+        self.ctx.pop(id(req), None)
+
+    def part_retry(self, part, attempt: int, start: float, end: float) -> None:
+        """Record the backoff wait before whole-part retry ``attempt``."""
+        self.tracer.record(
+            "shard.retry_backoff", "retry", start, end,
+            parent=self._parts.get(id(part)), attempt=attempt,
+        )
+
+    def rebuild_started(self, range_idx: int, src: str, dst: str) -> None:
+        self._rebuilds[range_idx] = self.tracer.start(
+            "rebuild", layer="rebuild",
+            range_idx=range_idx, src=src, dst=dst,
+        )
+
+    def rebuild_io(self, range_idx: int, request) -> None:
+        """Parent a rebuild copy read/ingest under its rebuild root, so
+        recovery traffic stays off tenant critical paths."""
+        root = self._rebuilds.get(range_idx)
+        if root is not None:
+            self.ctx[id(request)] = root
+
+    def rebuild_done(self, range_idx: int) -> None:
+        span = self._rebuilds.pop(range_idx, None)
+        if span is not None:
+            self.tracer.finish(span)
 
     # ------------------------------------------------------------------
     # device parenting (installed as each shard Telemetry's parent_for)
@@ -323,6 +382,30 @@ class _NullDistTracer:
         return None
 
     def dual_write_issued(self, range_idx: int, dup, dst: str) -> None:
+        return None
+
+    def replica_write_issued(self, part, dup, shard: str) -> None:
+        return None
+
+    def replica_read_issued(self, part, dup, shard: str) -> None:
+        return None
+
+    def hedge_issued(self, part, dup, shard: str) -> None:
+        return None
+
+    def attempt_done(self, req) -> None:
+        return None
+
+    def part_retry(self, part, attempt: int, start: float, end: float) -> None:
+        return None
+
+    def rebuild_started(self, range_idx: int, src: str, dst: str) -> None:
+        return None
+
+    def rebuild_io(self, range_idx: int, request) -> None:
+        return None
+
+    def rebuild_done(self, range_idx: int) -> None:
         return None
 
 

@@ -580,6 +580,56 @@ def bind_cluster_metrics(
         "cluster.migration_bytes",
         lambda: float(fleet.orchestrator.migration_bytes()),
     )
+    sampler.register_multi(
+        "cluster.unrecovered",
+        lambda: {
+            n: float(st.stats.unrecovered)
+            for n, st in tenants.items() if not st.spec.internal
+        },
+        label_key="tenant",
+    )
+
+    # Fault-tolerance vocabulary — only present when the replication
+    # manager is attached, so fault-free rf=1 scrapes are unchanged.
+    replication = getattr(fleet, "replication", None)
+    if replication is not None:
+        rstats = replication.stats
+        sampler.register(
+            "cluster.replica_writes", lambda: float(rstats.replica_writes)
+        )
+        sampler.register(
+            "cluster.retries", lambda: float(rstats.retries)
+        )
+        sampler.register(
+            "cluster.failovers", lambda: float(rstats.failovers)
+        )
+        sampler.register(
+            "cluster.hedged_reads", lambda: float(rstats.hedged_reads)
+        )
+        sampler.register(
+            "cluster.quorum_failures",
+            lambda: float(rstats.quorum_failures),
+        )
+        sampler.register(
+            "cluster.rebuilds_active",
+            lambda: float(len(replication.rebuilding)),
+        )
+        sampler.register(
+            "cluster.rebuild_bytes", lambda: float(rstats.rebuild_bytes)
+        )
+    health = getattr(fleet, "health", None)
+    if health is not None:
+        sampler.register(
+            "cluster.shards_alive", lambda: float(health.alive_count())
+        )
+        sampler.register_multi(
+            "cluster.shard_health",
+            lambda: {
+                n: {"alive": 1.0, "suspect": 0.5, "dead": 0.0}[s]
+                for n, s in health.states().items()
+            },
+            label_key="shard",
+        )
 
 
 def _flash_servers(backend) -> List[object]:
