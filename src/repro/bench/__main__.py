@@ -11,6 +11,7 @@ Usage::
     python -m repro.bench breakdown --trace-dump spans.jsonl
     python -m repro.bench --metrics --series-dump ts.jsonl --prom-dump metrics.prom
     python -m repro.bench --audit --shadow lzf,gzip --audit-dump audit.jsonl
+    python -m repro.bench --health --health-dump health.json   # device health
     python -m repro.bench --chaos benchmarks/chaos_fin1.json   # fault-injected replay
     python -m repro.bench --cluster --trace --trace-dump trace.json --alerts
     python -m repro.bench --profile --profile-dump profile.txt  # cProfile a replay
@@ -67,21 +68,28 @@ def _run_breakdown(
     with_audit: bool = False,
     shadow_spec: str = "lzf,gzip",
     audit_dump: str | None = None,
-) -> None:
+    with_health: bool = False,
+    health_dump: str | None = None,
+) -> int:
     """Replay Fin1 under EDC once, with whichever instrumentation was asked.
 
-    ``--telemetry``, ``--metrics`` and ``--audit`` compose here: one
-    device, one replay, and each flag only adds its report over the
-    shared run.
+    ``--telemetry``, ``--metrics``, ``--audit`` and ``--health`` compose
+    here: one device, one replay, and each flag only adds its report
+    over the shared run.  ``--health`` additionally *gates*: the space
+    waterfall's conservation invariant is verified after the replay and
+    a violation makes the exit code non-zero.
     """
     from repro.bench.experiments import replay
     from repro.bench.report import render_audit
+    from repro.flash.introspect import SpaceAccountingError
     from repro.sim.engine import Simulator
     from repro.telemetry import (
         DecisionAuditor,
+        DeviceHealth,
         Telemetry,
         TimeSeriesSampler,
         dump_audit_jsonl,
+        dump_health_json,
         dump_jsonl,
         dump_timeseries_jsonl,
         parse_shadow_spec,
@@ -94,7 +102,8 @@ def _run_breakdown(
     fps = {}
     try:
         for label, path in (("trace", trace_dump), ("series", series_dump),
-                            ("prom", prom_dump), ("audit", audit_dump)):
+                            ("prom", prom_dump), ("audit", audit_dump),
+                            ("health", health_dump)):
             if path:
                 fps[label] = open(path, "w", encoding="utf-8")
         telemetry = Telemetry(Simulator()) if with_telemetry else None
@@ -103,12 +112,14 @@ def _run_breakdown(
             DecisionAuditor(shadows=parse_shadow_spec(shadow_spec))
             if with_audit else None
         )
+        health = DeviceHealth() if with_health else None
         trace = make_workload("Fin1", duration=duration)
         result = replay(trace, "EDC", telemetry=telemetry, sampler=sampler,
-                        auditor=auditor)
+                        auditor=auditor, health=health)
         parts = [p for on, p in ((with_telemetry, "telemetry"),
                                  (with_metrics, "metrics"),
-                                 (with_audit, "audit")) if on]
+                                 (with_audit, "audit"),
+                                 (with_health, "health")) if on]
         print(f"{'+'.join(parts)}: Fin1 x EDC, {result.n_requests} requests, "
               f"mean response {result.mean_response * 1e3:.3f} ms")
         if telemetry is not None:
@@ -130,6 +141,16 @@ def _run_breakdown(
                 n = dump_audit_jsonl(auditor, fps["audit"])
                 print(f"\nwrote {n} audit lines to {audit_dump} "
                       f"(diff with: python -m repro.bench.diff)")
+        if health is not None:
+            print()
+            try:
+                print(health.render())
+            except SpaceAccountingError as exc:
+                print(f"HEALTH FAIL: {exc}", file=sys.stderr)
+                return 1
+            if "health" in fps:
+                dump_health_json(health, fps["health"])
+                print(f"\nwrote device-health report to {health_dump}")
         if "prom" in fps:
             text = render_exposition(
                 metrics=telemetry.metrics if telemetry is not None else None,
@@ -141,6 +162,7 @@ def _run_breakdown(
     finally:
         for fp in fps.values():
             fp.close()
+    return 0
 
 
 def _run_cluster(
@@ -158,11 +180,15 @@ def _run_cluster(
     replication: int = 1,
     quorum: str = "majority",
     hedge: bool = False,
+    with_health: bool = False,
+    health_dump: str | None = None,
 ) -> int:
     """Run the sharded fleet exhibit; non-zero exit on invariant failure.
 
     With ``chaos_plan`` the run becomes the fleet chaos harness: exit
     0 RECOVERED, 1 DEGRADED (or invariant failure), 2 DATA-LOSS.
+    ``with_health`` / ``health_dump`` emit the per-shard SMART rollups
+    the outcome already carries as a JSON document.
     """
     from repro.bench.cluster import run_cluster
     from repro.telemetry import (
@@ -212,6 +238,19 @@ def _run_cluster(
     )
     print()
     print(report.render())
+    if with_health or health_dump:
+        rollup = {
+            name: s.smart
+            for name, s in sorted(report.outcome.shards.items())
+            if s.smart is not None
+        }
+        if health_dump:
+            import json
+
+            with open(health_dump, "w", encoding="utf-8") as fp:
+                json.dump({"shards": rollup}, fp, indent=2, sort_keys=True)
+                fp.write("\n")
+            print(f"\nwrote per-shard SMART rollups to {health_dump}")
     if with_metrics:
         print()
         print(render_dashboard(sampler, alerts=engine))
@@ -344,6 +383,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="with --audit, write the decision-audit "
                              "trail as JSON lines to PATH (compare runs "
                              "with python -m repro.bench.diff)")
+    parser.add_argument("--health", action="store_true",
+                        help="also run the 'breakdown' exhibit with "
+                             "device-health introspection: SMART page, "
+                             "space-efficiency waterfall (gated on its "
+                             "conservation invariant), GC episode audit "
+                             "and LBA temperature heatmap (composes with "
+                             "--telemetry/--metrics/--audit over one "
+                             "shared replay; with --cluster, prints the "
+                             "per-shard SMART rollups instead)")
+    parser.add_argument("--health-dump", metavar="PATH", default=None,
+                        help="with --health, write the device-health "
+                             "report (or the per-shard SMART rollups "
+                             "with --cluster) as JSON to PATH")
     parser.add_argument("--chaos", metavar="PLAN.json", default=None,
                         help="replay one trace under the JSON fault plan "
                              "and report recovered vs lost requests; "
@@ -442,6 +494,8 @@ def main(argv: list[str] | None = None) -> int:
                 replication=args.cluster_replication,
                 quorum=args.cluster_quorum,
                 hedge=args.cluster_hedge,
+                with_health=args.health,
+                health_dump=args.health_dump,
             )
         except (OSError, ValueError) as exc:
             parser.error(f"--cluster: {exc}")
@@ -455,7 +509,8 @@ def main(argv: list[str] | None = None) -> int:
         except (OSError, ValueError) as exc:
             parser.error(f"--chaos {args.chaos}: {exc}")
     instrumented = (args.telemetry or args.metrics or bool(args.prom_dump)
-                    or args.audit or bool(args.audit_dump))
+                    or args.audit or bool(args.audit_dump)
+                    or args.health or bool(args.health_dump))
     wanted = tuple(args.exhibits) or (ALL[:-1] if not instrumented else ALL)
     if instrumented and "breakdown" not in wanted:
         wanted = wanted + ("breakdown",)
@@ -520,7 +575,8 @@ def main(argv: list[str] | None = None) -> int:
             # telemetry-only behaviour; --metrics alone skips the span
             # machinery it doesn't need.
             with_audit = args.audit or bool(args.audit_dump)
-            _run_breakdown(
+            with_health = args.health or bool(args.health_dump)
+            rc = _run_breakdown(
                 args.duration,
                 args.trace_dump,
                 with_telemetry=args.telemetry or not args.metrics,
@@ -531,7 +587,11 @@ def main(argv: list[str] | None = None) -> int:
                 with_audit=with_audit,
                 shadow_spec=args.shadow,
                 audit_dump=args.audit_dump,
+                with_health=with_health,
+                health_dump=args.health_dump,
             )
+            if rc:
+                return rc
         elif name == "fig12":
             pts = fig12_threshold_sensitivity(duration=args.duration)
             print(render_table(

@@ -127,6 +127,25 @@ class ClusterRunReport:
                 f"{c.physical_bytes / 1e6:11.2f} {c.ratio:6.3f} "
                 f"{s.write_amplification:5.3f}"
             )
+        if any(s.smart for s in out.shards.values()):
+            lines.append("")
+            lines.append(
+                "shard    wear_max  erases  spare  retired  util%  "
+                "GC eff  realized"
+            )
+            for name in sorted(out.shards):
+                sm = out.shards[name].smart
+                if not sm:
+                    continue
+                lines.append(
+                    f"{name:<8} {int(sm['wear_max']):8d} "
+                    f"{int(sm['total_erases']):7d} "
+                    f"{int(sm['spare_blocks']):6d} "
+                    f"{int(sm['retired_blocks']):8d} "
+                    f"{sm['utilization'] * 100:6.1f} "
+                    f"{sm['gc_efficiency']:7.3f} "
+                    f"{sm['realized_ratio']:9.3f}"
+                )
         lines.append("")
         m = out.migration
         lines.append(

@@ -130,6 +130,7 @@ def replay(
     fault_plan=None,
     on_built=None,
     recovery=None,
+    health=None,
 ) -> ExperimentResult:
     """Replay ``trace`` under ``scheme`` and collect the result record.
 
@@ -167,6 +168,15 @@ def replay(
     journaled and checkpointed in-band during the replay, so its write
     amplification and device time include the durability overhead.
     ``None`` (the default) keeps the replay bit-identical to the seed.
+
+    ``health`` optionally attaches a
+    :class:`~repro.telemetry.devhealth.DeviceHealth`: SMART snapshots,
+    the space-efficiency waterfall, the per-GC-episode audit and the
+    LBA temperature map become queryable after the run.  Health hooks
+    only record — a replay with health attached is bit-identical
+    (mapping/allocator digests) to one without.  Composes with every
+    other instrument; it is bound after fault wiring so retirement
+    hooks chain instead of clobbering.
     """
     cfg = cfg if cfg is not None else ReplayConfig()
     sim = Simulator()
@@ -196,6 +206,8 @@ def replay(
                 lambda block_id, moved, _bb=ssd.geometry.block_bytes:
                 device.allocator.note_retired(_bb)
             )
+    if health is not None and getattr(health, "enabled", True):
+        health.bind_device(device)
     if sampler is not None:
         sampler.attach(sim, device)
         sampler.start()

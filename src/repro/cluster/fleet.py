@@ -284,6 +284,10 @@ class ShardReport:
     compression_ratio: float
     write_amplification: float
     device_busy_s: float
+    #: SMART rollup of the shard's device (wear, spare/retired capacity,
+    #: WA, GC efficiency, realised space ratio) — see
+    #: :func:`repro.flash.introspect.smart_snapshot`
+    smart: Optional[Dict[str, float]] = None
 
 
 @dataclass(frozen=True)
@@ -326,6 +330,32 @@ class ClusterOutcome:
 
 class ClusterReplayError(RuntimeError):
     """Raised when a cluster replay finishes in an inconsistent state."""
+
+
+def _shard_smart(dev, horizon: float) -> Dict[str, float]:
+    """Flat SMART rollup of one shard's device for the cluster outcome.
+
+    Read-only over end-of-run state (the replay has already drained),
+    so computing it can never perturb the run it describes.
+    """
+    from repro.flash.introspect import smart_snapshot, space_waterfall
+
+    snap = smart_snapshot(dev, observed_seconds=max(horizon, 0.0))
+    wf = space_waterfall(dev)
+    return {
+        "wear_max": float(snap.wear_max),
+        "wear_p95": snap.wear_p95,
+        "total_erases": float(snap.total_erases),
+        "spare_blocks": float(snap.spare_blocks),
+        "retired_blocks": float(snap.retired_blocks),
+        "utilization": snap.utilization,
+        "write_amplification": snap.write_amplification,
+        "gc_collections": float(snap.gc_collections),
+        "gc_efficiency": snap.gc_efficiency,
+        "wear_fraction": snap.wear_fraction,
+        "realized_ratio": wf.realized_ratio,
+        "slack_bytes": float(wf.slack_bytes),
+    }
 
 
 class ClusterReplayer:
@@ -414,6 +444,7 @@ class ClusterReplayer:
                 compression_ratio=dev.stats.compression_ratio,
                 write_amplification=(host + moved) / host if host else 1.0,
                 device_busy_s=ssd.queue.stats.busy_time,
+                smart=_shard_smart(dev, horizon),
             )
         energy = EnergyModel().from_times(
             horizon_s=horizon,

@@ -66,6 +66,7 @@ class EDCBlockDevice:
         telemetry: Optional[Telemetry] = None,
         auditor=None,
         recovery=None,
+        health=None,
     ) -> None:
         self.sim = sim
         self.policy = policy
@@ -157,6 +158,14 @@ class EDCBlockDevice:
         if recovery is not None:
             recovery.bind_device(self)
 
+        #: optional :class:`~repro.telemetry.devhealth.DeviceHealth`;
+        #: ``None`` (the default) keeps introspection off and the
+        #: replay bit-identical to the seed (digest-verified).  Bound
+        #: after recovery so the waterfall sees the journal keys.
+        self.health = health
+        if health is not None and getattr(health, "enabled", True):
+            health.bind_device(self)
+
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
@@ -172,7 +181,9 @@ class EDCBlockDevice:
 
     def submit(self, request: IORequest) -> None:
         """Process one request arriving *now* (``sim.now``)."""
-        self.monitor.record(self.sim.now, request.op, request.nbytes)
+        self.monitor.record(
+            self.sim.now, request.op, request.nbytes, lba=request.lba
+        )
         if self._tp_req:
             self.telemetry.request_arrived(request, request.is_write)
         if request.is_write:

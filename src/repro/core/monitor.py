@@ -71,6 +71,11 @@ class WorkloadMonitor:
         self._last_t = float("-inf")
         self.total_requests = 0
         self.total_pages = 0
+        #: optional per-request observer ``(time, op, lba, pages)``,
+        #: called once per :meth:`record` with the clamped timestamp.
+        #: The device-health temperature map subscribes here; ``None``
+        #: (the default) keeps the hot path branch-cheap.
+        self.on_record: Optional[callable] = None
 
     def pages_of(self, nbytes: int) -> int:
         """4 KB-equivalents of a request (always at least one)."""
@@ -78,18 +83,24 @@ class WorkloadMonitor:
             raise ValueError(f"request size must be positive: {nbytes!r}")
         return max(1, (nbytes + self.page_size - 1) // self.page_size)
 
-    def record(self, time: float, op: str, nbytes: int) -> None:
+    def record(
+        self, time: float, op: str, nbytes: int, lba: Optional[int] = None
+    ) -> None:
         """Note one request entering the system.
 
         Non-monotonic ``time`` values are clamped up to the latest
         timestamp already recorded, keeping the deque time-ordered (the
-        invariant single-pass pruning relies on).
+        invariant single-pass pruning relies on).  ``lba`` is only
+        passed through to :attr:`on_record` (the temperature-map feed);
+        intensity accounting ignores it.
         """
         if time < self._last_t:
             time = self._last_t
         else:
             self._last_t = time
         pages = float(self.pages_of(nbytes))
+        if self.on_record is not None:
+            self.on_record(time, op, lba, pages)
         reads = 1.0 if op == "R" else 0.0
         self._events.append((time, pages, reads))
         self._pages_sum += pages

@@ -241,6 +241,21 @@ class SizeClassAllocator:
         """Recyclable free slots across all classes."""
         return sum(self._free.values())
 
+    @property
+    def free_slot_bytes(self) -> int:
+        """Physical bytes held by recyclable free slots."""
+        return sum(nbytes * count for nbytes, count in self._free.items())
+
+    def live_items(self):
+        """Iterate live slots as ``(key, SlotClass, stored_payload)``.
+
+        The walk the space-efficiency waterfall uses to recompute the
+        payload/slack split from first principles and cross-check the
+        maintained counters.  Read-only; do not mutate while iterating.
+        """
+        for key, (cls, stored) in self._live.items():
+            yield key, cls, stored
+
     def occupancy(self) -> Dict[float, float]:
         """Per-fraction share of live slots (sums to 1.0 when any live).
 

@@ -133,6 +133,12 @@ class ExtentFTL:
         #: ``(block_id, relocated_bytes)`` — the allocator/telemetry
         #: side of free-space accounting subscribes here
         self.on_retire: Optional[Callable[[int, int], None]] = None
+        #: why GC is currently running, as ``(reason, stream)`` —
+        #: ``("low_free", stream)`` while the frontier refill loop
+        #: collects for ``stream``; ``None`` outside GC.  Read by the
+        #: device-health layer's chained ``on_gc`` to attribute each
+        #: episode's trigger; never consulted by the FTL itself.
+        self.gc_trigger: Optional[tuple] = None
 
         nb = geometry.nblocks
         self._extents: Dict[Hashable, list[_Extent]] = {}
@@ -362,11 +368,15 @@ class ExtentFTL:
             and self._fill[stream] < self.geometry.block_bytes
         ):
             return cost
-        while len(self._free) < self.gc_free_threshold:
-            c = self._collect_one()
-            if c is None:
-                break  # nothing collectable; proceed if any free block remains
-            cost = cost + c
+        self.gc_trigger = ("low_free", stream)
+        try:
+            while len(self._free) < self.gc_free_threshold:
+                c = self._collect_one()
+                if c is None:
+                    break  # nothing collectable; proceed if any free block remains
+                cost = cost + c
+        finally:
+            self.gc_trigger = None
         self._open_block(stream)
         return cost
 

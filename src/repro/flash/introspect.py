@@ -1,0 +1,497 @@
+"""Device introspection: SMART-style health and space attribution.
+
+The paper's two headline claims — better space efficiency and longer
+flash lifetime — are end-of-run scalars (realised ratio, WA) unless the
+device can say *where* the space goes and *which* blocks age.  This
+module is the pure query layer behind the device-health telemetry
+(:mod:`repro.telemetry.devhealth`): it reads the counters the
+:class:`~repro.flash.allocator.SizeClassAllocator`,
+:class:`~repro.flash.ftl.ExtentFTL` and
+:class:`~repro.flash.gc.GcStats` already maintain and reconciles them
+into two reports:
+
+- :class:`SmartSnapshot` — a SMART-style health page: wear percentiles
+  and the erase-count histogram (the :mod:`repro.flash.endurance`
+  inputs), spare/retired capacity, the cumulative write-amplification
+  split (host vs GC vs metadata vs rebuild), GC efficiency, and the
+  lifetime/DWPD projection;
+- :class:`SpaceWaterfall` — the space-efficiency waterfall: logical
+  bytes → compressed payload → slot bytes (per-size-class slack) →
+  free-slot / retired overhead → physical bytes, with an **exact
+  conservation invariant**: :meth:`SpaceWaterfall.verify` recomputes
+  every stage from the live slot population and fails the run when the
+  maintained counters disagree (PR 7 style — accounting drift is a bug,
+  not a rounding artefact).
+
+Everything here is read-only over existing state: building a snapshot
+never mutates the device, so introspection cannot perturb a replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.flash.endurance import PE_LIMITS
+
+__all__ = [
+    "SpaceAccountingError",
+    "WaterfallStage",
+    "SpaceWaterfall",
+    "SmartSnapshot",
+    "space_waterfall",
+    "smart_snapshot",
+    "ftls_of",
+]
+
+#: Default tolerance of the conservation checks.  All stage values are
+#: integer byte counts, so any genuine mismatch is >= 1 byte; the eps
+#: only guards the float casts in the comparison itself.
+CONSERVATION_EPS = 1e-6
+
+
+class SpaceAccountingError(AssertionError):
+    """Raised when the space waterfall fails its conservation invariant."""
+
+
+def ftls_of(backend) -> List[object]:
+    """Every :class:`~repro.flash.ftl.ExtentFTL` under ``backend``.
+
+    Recurses array backends (``backend.devices``) the same way the
+    telemetry layer attaches its GC probes.
+    """
+    out: List[object] = []
+    ftl = getattr(backend, "ftl", None)
+    if ftl is not None:
+        out.append(ftl)
+    for dev in getattr(backend, "devices", ()) or ():
+        out.extend(ftls_of(dev))
+    return out
+
+
+# ----------------------------------------------------------------------
+# space-efficiency waterfall
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WaterfallStage:
+    """One step of the waterfall: a named delta and its running total."""
+
+    name: str
+    delta: int
+    cumulative: int
+
+
+@dataclass(frozen=True)
+class SpaceWaterfall:
+    """Logical bytes → physical bytes, every overhead attributed.
+
+    The ``*_bytes`` fields up to :attr:`live_slot_bytes` are recomputed
+    by walking the allocator's live slots at build time; the
+    ``counter_*`` fields are the allocator's own maintained counters.
+    :meth:`verify` requires the two views to agree exactly — that is
+    the conservation invariant the health exhibit gates on.
+    """
+
+    #: uncompressed bytes represented by live mapping entries
+    logical_bytes: int
+    #: compressed payload bytes inside live slots (walked)
+    payload_bytes: int
+    #: slot bytes wasted to size-class rounding (walked)
+    slack_bytes: int
+    #: slack per size-class fraction (walked; keys are 0.25 .. 1.0)
+    slack_by_class: Dict[float, int]
+    #: live slot count per size-class fraction (walked)
+    slots_by_class: Dict[float, int]
+    #: physical bytes held by live slots (walked: payload + slack)
+    live_slot_bytes: int
+    #: recyclable free-slot bytes (allocator free lists)
+    free_slot_bytes: int
+    #: physical bytes ever claimed (live + free slots)
+    physical_bytes: int
+    #: capacity lost to retired (bad) flash blocks
+    retired_bytes: int
+    #: physical + retired: what the stored data costs on this device
+    effective_physical_bytes: int
+
+    # -- the allocator's own counters, for the cross-check -------------
+    counter_payload_bytes: int
+    counter_slack_bytes: int
+    counter_live_slot_bytes: int
+
+    # -- FTL-side reconciliation ---------------------------------------
+    #: live bytes across every FTL under the backend
+    ftl_live_bytes: int
+    #: live metadata extents (journal segments + checkpoints), when a
+    #: recovery manager is bound; 0 otherwise
+    meta_live_bytes: int
+    #: FTL bytes not explained by slots + metadata (array parity and
+    #: replica copies on multi-device backends; must be 0 on one SSD)
+    ftl_residual_bytes: int
+    #: whether the FTL reconciliation is exact (single-SSD backends)
+    ftl_exact: bool = True
+
+    def stages(self) -> List[WaterfallStage]:
+        """The waterfall as presentation-ordered stages.
+
+        Negative deltas are savings (compression), positive deltas are
+        overheads (slack, free slots, retirement); the final cumulative
+        equals :attr:`effective_physical_bytes`.
+        """
+        out: List[WaterfallStage] = []
+        cum = self.logical_bytes
+        out.append(WaterfallStage("logical", self.logical_bytes, cum))
+        cum += self.payload_bytes - self.logical_bytes
+        out.append(
+            WaterfallStage(
+                "compression", self.payload_bytes - self.logical_bytes, cum
+            )
+        )
+        for frac in sorted(self.slack_by_class):
+            slack = self.slack_by_class[frac]
+            cum += slack
+            out.append(
+                WaterfallStage(f"slack@{int(frac * 100)}%", slack, cum)
+            )
+        cum += self.free_slot_bytes
+        out.append(WaterfallStage("free_slots", self.free_slot_bytes, cum))
+        cum += self.retired_bytes
+        out.append(WaterfallStage("retired", self.retired_bytes, cum))
+        return out
+
+    @property
+    def realized_ratio(self) -> float:
+        """Logical bytes per physical byte actually spent."""
+        if self.effective_physical_bytes == 0:
+            return 1.0
+        return self.logical_bytes / self.effective_physical_bytes
+
+    def verify(self, eps: float = CONSERVATION_EPS) -> None:
+        """Check every conservation identity; raise on any mismatch.
+
+        The identities (all in integer bytes):
+
+        1. walked payload + walked slack == walked live-slot bytes
+        2. walked values == the allocator's maintained counters
+        3. live-slot + free-slot bytes == physical bytes
+        4. physical + retired == effective physical bytes
+        5. per-class slack sums to total slack
+        6. the waterfall's final cumulative == effective physical bytes
+        7. (single SSD) FTL live bytes == live slots + live metadata
+        """
+        def check(name: str, a: float, b: float) -> None:
+            if abs(a - b) > eps:
+                raise SpaceAccountingError(
+                    f"space waterfall: {name}: {a!r} != {b!r} "
+                    f"(diff {a - b!r})"
+                )
+
+        check(
+            "payload + slack vs live slots",
+            self.payload_bytes + self.slack_bytes,
+            self.live_slot_bytes,
+        )
+        check(
+            "walked payload vs allocator counter",
+            self.payload_bytes,
+            self.counter_payload_bytes,
+        )
+        check(
+            "walked slack vs internal_fragmentation counter",
+            self.slack_bytes,
+            self.counter_slack_bytes,
+        )
+        check(
+            "walked live slots vs live_physical_bytes counter",
+            self.live_slot_bytes,
+            self.counter_live_slot_bytes,
+        )
+        check(
+            "live + free slots vs physical_bytes",
+            self.live_slot_bytes + self.free_slot_bytes,
+            self.physical_bytes,
+        )
+        check(
+            "physical + retired vs effective_physical_bytes",
+            self.physical_bytes + self.retired_bytes,
+            self.effective_physical_bytes,
+        )
+        check(
+            "per-class slack vs total slack",
+            sum(self.slack_by_class.values()),
+            self.slack_bytes,
+        )
+        stages = self.stages()
+        check(
+            "waterfall cumulative vs effective physical",
+            stages[-1].cumulative,
+            self.effective_physical_bytes,
+        )
+        if self.ftl_exact:
+            check(
+                "FTL live bytes vs slots + metadata",
+                self.ftl_live_bytes,
+                self.live_slot_bytes + self.meta_live_bytes,
+            )
+
+
+def _meta_live_bytes(device, ftls: List[object]) -> int:
+    """Live journal/checkpoint extent bytes of a bound recovery manager."""
+    recovery = getattr(device, "recovery", None)
+    if recovery is None:
+        return 0
+    keys = list(getattr(recovery, "_journal_seg_keys", ())) + list(
+        getattr(recovery, "_ckpt_keys", ())
+    )
+    total = 0
+    for key in keys:
+        for ftl in ftls:
+            size = ftl.extent_size(key)
+            if size is not None:
+                total += size
+    return total
+
+
+def space_waterfall(device) -> SpaceWaterfall:
+    """Build the space waterfall for one ``EDCBlockDevice``.
+
+    Walks the allocator's live slot population (payload, slack and the
+    per-class breakdown), resolves each live key's uncompressed size
+    through the mapping table, and reconciles the result against both
+    the allocator's maintained counters and the FTL's live-byte total.
+    Read-only: the device is not mutated.
+    """
+    allocator = device.allocator
+    mapping = device.mapping
+    logical = 0
+    payload = 0
+    slack = 0
+    slack_by_class: Dict[float, int] = {
+        c.fraction: 0 for c in allocator.classes
+    }
+    slots_by_class: Dict[float, int] = {
+        c.fraction: 0 for c in allocator.classes
+    }
+    for key, cls, stored in allocator.live_items():
+        payload += stored
+        waste = cls.nbytes - stored
+        slack += waste
+        slack_by_class[cls.fraction] = (
+            slack_by_class.get(cls.fraction, 0) + waste
+        )
+        slots_by_class[cls.fraction] = (
+            slots_by_class.get(cls.fraction, 0) + 1
+        )
+        entry = mapping.get(key)
+        if entry is not None:
+            logical += entry.original_size
+    backend = device.distributer.backend
+    ftls = ftls_of(backend)
+    ftl_live = sum(f.live_bytes for f in ftls)
+    meta_live = _meta_live_bytes(device, ftls)
+    # Arrays store parity / striped copies the allocator never sees, so
+    # the FTL identity is only exact on a single-SSD backend.
+    exact = len(ftls) == 1 and not (getattr(backend, "devices", None))
+    live_slot = payload + slack
+    return SpaceWaterfall(
+        logical_bytes=logical,
+        payload_bytes=payload,
+        slack_bytes=slack,
+        slack_by_class=slack_by_class,
+        slots_by_class=slots_by_class,
+        live_slot_bytes=live_slot,
+        free_slot_bytes=allocator.free_slot_bytes,
+        physical_bytes=allocator.physical_bytes,
+        retired_bytes=allocator.stats.retired_bytes,
+        effective_physical_bytes=allocator.effective_physical_bytes,
+        counter_payload_bytes=allocator.live_payload_bytes,
+        counter_slack_bytes=allocator.stats.internal_fragmentation,
+        counter_live_slot_bytes=allocator.live_physical_bytes,
+        ftl_live_bytes=ftl_live,
+        meta_live_bytes=meta_live,
+        ftl_residual_bytes=ftl_live - live_slot - meta_live,
+        ftl_exact=exact,
+    )
+
+
+# ----------------------------------------------------------------------
+# SMART-style health snapshot
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SmartSnapshot:
+    """One SMART-style health page over a device's backend.
+
+    Wear statistics are computed over every in-service block (blocks
+    never erased count as zero; retired blocks are excluded, matching
+    :class:`~repro.flash.gc.GcStats.note_retirement`).  On array
+    backends the counters aggregate across members and the wear
+    percentiles run over the combined block population.
+    """
+
+    cell_type: str
+    pe_limit: int
+    observed_seconds: float
+
+    # -- wear ----------------------------------------------------------
+    total_erases: int
+    wear_p50: float
+    wear_p95: float
+    wear_max: int
+    mean_block_erases: float
+    #: erase count -> number of in-service blocks at that count
+    erase_histogram: Dict[int, int] = field(default_factory=dict)
+
+    # -- capacity ------------------------------------------------------
+    spare_blocks: int = 0
+    spare_bytes: int = 0
+    retired_blocks: int = 0
+    retired_bytes: int = 0
+    utilization: float = 0.0
+
+    # -- write-amplification split -------------------------------------
+    #: host data bytes (metadata excluded)
+    host_data_bytes: int = 0
+    #: journal + checkpoint bytes (in-band metadata writes)
+    meta_bytes: int = 0
+    #: bytes GC relocated out of victim blocks
+    gc_moved_bytes: int = 0
+    #: bytes relocated by bad-block retirement / rebuild
+    rebuild_bytes: int = 0
+    write_amplification: float = 1.0
+
+    # -- GC ------------------------------------------------------------
+    gc_collections: int = 0
+    gc_reclaimed_bytes: int = 0
+    gc_efficiency: float = 1.0
+
+    # -- projection ----------------------------------------------------
+    wear_fraction: float = 0.0
+    projected_lifetime_seconds: float = float("inf")
+    drive_writes_per_day: float = 0.0
+
+    def wa_split(self) -> Dict[str, int]:
+        """The WA numerator, attributed: host / metadata / GC / rebuild."""
+        return {
+            "host": self.host_data_bytes,
+            "metadata": self.meta_bytes,
+            "gc": self.gc_moved_bytes,
+            "rebuild": self.rebuild_bytes,
+        }
+
+
+def smart_snapshot(
+    device, observed_seconds: float, cell_type: str = "SLC"
+) -> SmartSnapshot:
+    """Summarise the health of ``device``'s backend at one instant.
+
+    ``observed_seconds`` is the simulated horizon the erase counts were
+    accumulated over; it drives the lifetime extrapolation exactly as
+    :meth:`~repro.flash.endurance.EnduranceModel.report` does.
+    """
+    if observed_seconds < 0:
+        raise ValueError(f"negative horizon: {observed_seconds!r}")
+    if cell_type not in PE_LIMITS:
+        raise ValueError(
+            f"unknown cell type {cell_type!r}; known: {sorted(PE_LIMITS)}"
+        )
+    pe_limit = PE_LIMITS[cell_type]
+    ftls = ftls_of(device.distributer.backend)
+    if not ftls:
+        raise ValueError("backend has no FTL to introspect")
+
+    counts: List[int] = []
+    histogram: Dict[int, int] = {}
+    total_erases = 0
+    host_bytes = relocated = gc_moved = reclaimed = collections = 0
+    spare_blocks = retired_blocks = 0
+    spare_bytes = retired_flash_bytes = 0
+    live_bytes = logical_capacity = 0
+    raw_capacity = 0
+    for ftl in ftls:
+        geo = ftl.geometry
+        stats = ftl.collector.stats
+        in_service = geo.nblocks - ftl.retired_blocks
+        erased = dict(stats.erase_counts)
+        for n in erased.values():
+            histogram[n] = histogram.get(n, 0) + 1
+        never = in_service - len(erased)
+        if never > 0:
+            histogram[0] = histogram.get(0, 0) + never
+        counts.extend(erased.values())
+        counts.extend([0] * max(0, never))
+        total_erases += stats.erases
+        host_bytes += ftl.stats.host_bytes
+        relocated += ftl.stats.relocated_bytes
+        gc_moved += stats.moved_bytes
+        reclaimed += stats.reclaimed_bytes
+        collections += stats.collections
+        spare_blocks += ftl.free_blocks
+        spare_bytes += ftl.free_blocks * geo.block_bytes
+        retired_blocks += ftl.retired_blocks
+        retired_flash_bytes += ftl.retired_blocks * geo.block_bytes
+        live_bytes += ftl.live_bytes
+        logical_capacity += ftl.effective_logical_bytes
+        raw_capacity += geo.nblocks * geo.block_bytes
+
+    values = np.array(counts, dtype=np.float64)
+    wear_max = int(values.max()) if values.size else 0
+    wear_p50 = float(np.percentile(values, 50)) if values.size else 0.0
+    wear_p95 = float(np.percentile(values, 95)) if values.size else 0.0
+    mean = float(values.mean()) if values.size else 0.0
+
+    recovery = getattr(device, "recovery", None)
+    meta_bytes = (
+        recovery.stats.meta_write_bytes if recovery is not None else 0
+    )
+    meta_bytes = min(meta_bytes, host_bytes)
+    rebuild = relocated - gc_moved
+    wa = (
+        (host_bytes + relocated) / host_bytes if host_bytes else 1.0
+    )
+    moved_plus = gc_moved + reclaimed
+    gc_eff = reclaimed / moved_plus if moved_plus else 1.0
+
+    if wear_max == 0 or observed_seconds <= 0:
+        lifetime = float("inf")
+    else:
+        rate = wear_max / observed_seconds
+        lifetime = (pe_limit - wear_max) / rate
+    service_days = 5 * 365
+    pe_budget = pe_limit * raw_capacity
+    usable_host = pe_budget / max(wa, 1.0)
+    dwpd = (
+        usable_host / (logical_capacity * service_days)
+        if logical_capacity
+        else 0.0
+    )
+
+    return SmartSnapshot(
+        cell_type=cell_type,
+        pe_limit=pe_limit,
+        observed_seconds=observed_seconds,
+        total_erases=total_erases,
+        wear_p50=wear_p50,
+        wear_p95=wear_p95,
+        wear_max=wear_max,
+        mean_block_erases=mean,
+        erase_histogram=histogram,
+        spare_blocks=spare_blocks,
+        spare_bytes=spare_bytes,
+        retired_blocks=retired_blocks,
+        retired_bytes=retired_flash_bytes,
+        utilization=(
+            live_bytes / logical_capacity if logical_capacity else 0.0
+        ),
+        host_data_bytes=host_bytes - meta_bytes,
+        meta_bytes=meta_bytes,
+        gc_moved_bytes=gc_moved,
+        rebuild_bytes=rebuild,
+        write_amplification=wa,
+        gc_collections=collections,
+        gc_reclaimed_bytes=reclaimed,
+        gc_efficiency=gc_eff,
+        wear_fraction=wear_max / pe_limit,
+        projected_lifetime_seconds=lifetime,
+        drive_writes_per_day=dwpd,
+    )

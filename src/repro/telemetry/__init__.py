@@ -34,6 +34,11 @@ A zero-dependency observability layer for the EDC stack.  Four pieces:
 - :mod:`repro.telemetry.alerts` — deterministic multi-window SLO
   burn-rate alerting (:class:`BurnRateEngine`) over the sampled
   per-tenant series, with an ASCII alert timeline.
+- :mod:`repro.telemetry.devhealth` — device introspection
+  (:class:`DeviceHealth`): SMART-style health snapshots, the
+  space-efficiency waterfall with an exact conservation check, the
+  per-GC-episode audit and the LBA-region temperature map
+  (``python -m repro.bench --health``).
 """
 
 from repro.telemetry.histograms import (
@@ -86,6 +91,16 @@ from repro.telemetry.exposition import (
     render_exposition,
 )
 from repro.telemetry.dashboard import render_dashboard, sparkline
+from repro.telemetry.devhealth import (
+    NULL_DEVICE_HEALTH,
+    DeviceHealth,
+    GcEpisode,
+    TemperatureMap,
+    dump_health_json,
+    render_heatmap,
+    render_smart,
+    render_waterfall,
+)
 from repro.telemetry.audit import (
     AUDIT_SCHEMA_VERSION,
     DecisionAuditor,
@@ -136,6 +151,14 @@ __all__ = [
     "parse_exposition",
     "render_dashboard",
     "sparkline",
+    "DeviceHealth",
+    "NULL_DEVICE_HEALTH",
+    "GcEpisode",
+    "TemperatureMap",
+    "dump_health_json",
+    "render_smart",
+    "render_waterfall",
+    "render_heatmap",
     "AUDIT_SCHEMA_VERSION",
     "DecisionAuditor",
     "dump_audit_jsonl",

@@ -92,6 +92,7 @@ def render_dashboard(
     width: int = 60,
     panels: Optional[Sequence[str]] = None,
     alerts=None,
+    health=None,
 ) -> str:
     """The multi-panel dashboard, ready to print.
 
@@ -99,7 +100,9 @@ def render_dashboard(
     (default: every family present, in name order).  ``alerts``
     optionally takes a :class:`~repro.telemetry.alerts.BurnRateEngine`;
     its per-tenant alert timeline renders as a final panel aligned with
-    the sparklines' time range.
+    the sparklines' time range.  ``health`` optionally takes a bound
+    :class:`~repro.telemetry.devhealth.DeviceHealth`; its space
+    waterfall and LBA temperature heatmap render as final panels.
     """
     nonempty = {
         name: s for name, s in sampler.series.items() if len(s) > 0
@@ -165,6 +168,15 @@ def render_dashboard(
         lines.append(
             render_alert_timeline(alerts, t_lo, t_hi, width=width)
         )
+    if health is not None and getattr(health, "enabled", False):
+        from repro.telemetry.devhealth import render_heatmap, render_waterfall
+
+        lines.append("")
+        lines.append("── space waterfall " + "─" * max(0, width + label_w - 19))
+        lines.append(render_waterfall(health.waterfall(), width=width))
+        lines.append("")
+        lines.append("── temperature map " + "─" * max(0, width + label_w - 19))
+        lines.append(render_heatmap(health.heat, t_hi, width=width))
     return "\n".join(lines)
 
 

@@ -152,25 +152,40 @@ def render_exposition(
             w.sample(f"{full}_count", float(h.count))
 
     if sampler is not None:
-        for name in sorted(sampler.series):
+        # Group series by rendered family and emit each family as one
+        # contiguous block, samples ordered by sorted label set (internal
+        # name as tiebreak).  Lazily-created family members (per-codec,
+        # per-region series appear as the replay discovers them) then
+        # land in the same place regardless of discovery order, so two
+        # scrapes of equivalent state diff cleanly line-for-line.
+        families: Dict[str, List[tuple]] = {}
+        for name in sampler.series:
             s = sampler.series[name]
             point = s.last()
             if point is None:
                 continue
-            t, v = point
+            _t, v = point
             full = f"{ns}_ts_{sanitize_name(s.metric)}"
+            label_items = tuple(sorted((s.labels or {}).items()))
+            families.setdefault(full, []).append(
+                (label_items, name, v, s.metric)
+            )
+        for full in sorted(families):
+            members = sorted(families[full])
+            metric = min(m[3] for m in members)
             w.header(
                 full, "gauge",
-                f"Latest sample of time series family {s.metric!r}.",
+                f"Latest sample of time series family {metric!r}.",
             )
-            w.sample(full, v, s.labels or None)
-            ex = exemplars.get(name) if exemplars else None
-            if ex is not None:
-                ex_labels, ex_value, ex_t = ex
-                w.lines[-1] += (
-                    f" # {_fmt_labels(dict(ex_labels))} "
-                    f"{_fmt_value(ex_value)} {_fmt_value(ex_t)}"
-                )
+            for label_items, name, v, _metric in members:
+                w.sample(full, v, dict(label_items) or None)
+                ex = exemplars.get(name) if exemplars else None
+                if ex is not None:
+                    ex_labels, ex_value, ex_t = ex
+                    w.lines[-1] += (
+                        f" # {_fmt_labels(dict(ex_labels))} "
+                        f"{_fmt_value(ex_value)} {_fmt_value(ex_t)}"
+                    )
         for channel in sorted(sampler.markers):
             m = sampler.markers[channel]
             full = f"{ns}_marker_{sanitize_name(channel)}_total"

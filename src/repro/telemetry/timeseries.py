@@ -493,6 +493,94 @@ def bind_standard_metrics(sampler: TimeSeriesSampler, device) -> None:
             label_key="shadow",
         )
 
+    # Device-health vocabulary — only present when a DeviceHealth is
+    # bound (``--health`` runs), so baseline scrapes and their
+    # exposition output are unchanged.  SMART snapshots and the space
+    # waterfall walk device state, so one snapshot per tick is computed
+    # lazily and shared across the family's collectors.
+    health = getattr(device, "health", None)
+    if health is not None and getattr(health, "enabled", False):
+        _hcache: Dict[str, object] = {"t": None, "smart": None, "wf": None}
+
+        def _smart():
+            now = sim.now
+            if _hcache["t"] != now:
+                _hcache["t"] = now
+                _hcache["smart"] = health.smart(observed_seconds=now)
+                _hcache["wf"] = health.waterfall()
+            return _hcache["smart"]
+
+        def _wf():
+            _smart()
+            return _hcache["wf"]
+
+        for sname, getter in (
+            ("wear_p50", lambda s: s.wear_p50),
+            ("wear_p95", lambda s: s.wear_p95),
+            ("wear_max", lambda s: float(s.wear_max)),
+            ("total_erases", lambda s: float(s.total_erases)),
+            ("spare_blocks", lambda s: float(s.spare_blocks)),
+            ("retired_blocks", lambda s: float(s.retired_blocks)),
+            ("utilization", lambda s: s.utilization),
+            ("write_amplification", lambda s: s.write_amplification),
+            ("gc_efficiency", lambda s: s.gc_efficiency),
+            ("wear_fraction", lambda s: s.wear_fraction),
+        ):
+            sampler.register(
+                f"smart.{sname}", (lambda g=getter: g(_smart()))
+            )
+        sampler.register_multi(
+            "smart.wa_bytes",
+            lambda: {k: float(v) for k, v in _smart().wa_split().items()},
+            label_key="source",
+        )
+
+        for wname, getter in (
+            ("logical_bytes", lambda w: float(w.logical_bytes)),
+            ("payload_bytes", lambda w: float(w.payload_bytes)),
+            ("slack_bytes", lambda w: float(w.slack_bytes)),
+            ("live_slot_bytes", lambda w: float(w.live_slot_bytes)),
+            ("free_slot_bytes", lambda w: float(w.free_slot_bytes)),
+            ("retired_bytes", lambda w: float(w.retired_bytes)),
+            ("physical_bytes", lambda w: float(w.effective_physical_bytes)),
+            ("realized_ratio", lambda w: w.realized_ratio),
+        ):
+            sampler.register(
+                f"space.{wname}", (lambda g=getter: g(_wf()))
+            )
+        sampler.register_multi(
+            "space.slack_by_class",
+            lambda: {
+                f"{int(round(frac * 100))}pct": float(v)
+                for frac, v in _wf().slack_by_class.items()
+            },
+            label_key="cls",
+        )
+
+        heat = health.heat
+        sampler.register(
+            "heat.regions",
+            lambda: float(len(set(heat._write) | set(heat._read))),
+        )
+        sampler.register("heat.touches", lambda: float(heat.touches))
+        sampler.register_multi(
+            "heat.write",
+            lambda: {
+                str(r): h for r, h in heat.hottest(sim.now, n=8, op="W")
+            },
+            label_key="region",
+        )
+        sampler.register_multi(
+            "heat.read",
+            lambda: {
+                str(r): h for r, h in heat.hottest(sim.now, n=8, op="R")
+            },
+            label_key="region",
+        )
+        sampler.register(
+            "gc.episodes", lambda: float(health.episodes_total)
+        )
+
 
 def bind_cluster_metrics(
     sampler: TimeSeriesSampler, fleet, tracing=None

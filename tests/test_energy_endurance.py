@@ -130,3 +130,64 @@ class TestEnduranceModel:
         rep = m.report(ftl, 100.0)
         dwpd = m.drive_writes_per_day(geo, rep)
         assert dwpd > 0
+
+
+class TestEnduranceEdgeCases:
+    def _worn_ftl(self, extent_size=4096, writes=400):
+        geo = NandGeometry(page_size=4096, pages_per_block=8, nblocks=16,
+                           op_ratio=0.25)
+        ftl = ExtentFTL(geo)
+        for i in range(writes):
+            ftl.write(i % 8, extent_size)
+        return geo, ftl
+
+    def test_negative_horizon_rejected(self):
+        _, ftl = self._worn_ftl()
+        with pytest.raises(ValueError):
+            EnduranceModel().report(ftl, -1.0)
+
+    def test_lifetime_vs_infinite_cases(self):
+        geo, worn = self._worn_ftl()
+        fresh = ExtentFTL(geo)
+        fresh.write("a", 4096)
+        m = EnduranceModel("MLC")
+        worn_rep = m.report(worn, 100.0)
+        fresh_rep = m.report(fresh, 100.0)
+        assert fresh_rep.projected_lifetime_seconds == float("inf")
+        assert fresh_rep.lifetime_vs(worn_rep) == float("inf")
+        assert worn_rep.lifetime_vs(fresh_rep) == 0.0
+        assert fresh_rep.lifetime_vs(fresh_rep) == 1.0
+
+    def test_dwpd_falls_with_write_amplification(self):
+        """Same budget, higher WA -> fewer host writes per day."""
+        from dataclasses import replace
+
+        geo, ftl = self._worn_ftl()
+        m = EnduranceModel("SLC")
+        rep = m.report(ftl, 100.0)
+        worse = replace(rep, write_amplification=rep.write_amplification * 2)
+        assert m.drive_writes_per_day(geo, worse) < m.drive_writes_per_day(
+            geo, rep
+        )
+
+    def test_retired_blocks_leave_wear_statistics(self):
+        """A dead block must not bound the lifetime projection."""
+        geo, ftl = self._worn_ftl()
+        worst = max(ftl.collector.stats.erase_counts,
+                    key=ftl.collector.stats.erase_counts.get)
+        before = EnduranceModel().report(ftl, 100.0)
+        ftl.retire_block(worst)
+        after = EnduranceModel().report(ftl, 100.0)
+        assert after.max_block_erases <= before.max_block_erases
+        assert worst not in ftl.collector.stats.erase_counts
+
+    def test_report_matches_smart_snapshot_inputs(self):
+        """The SMART page and the endurance report agree on wear."""
+        from repro.flash.endurance import PE_LIMITS as LIMITS
+
+        geo, ftl = self._worn_ftl()
+        rep = EnduranceModel("TLC").report(ftl, 50.0)
+        assert rep.pe_limit == LIMITS["TLC"]
+        counts = ftl.collector.stats.erase_counts
+        assert rep.total_erases == sum(counts.values())
+        assert rep.max_block_erases == max(counts.values())

@@ -139,3 +139,68 @@ class TestWearAwareCollector:
         )
         greedy.check_invariants()
         wear.check_invariants()
+
+
+class TestVictimSelectionSubsets:
+    """Selection only ever considers the offered candidates."""
+
+    def test_only_candidates_considered(self):
+        c = GreedyCollector()
+        valid = [0, 100, 50]
+        # block 0 is emptiest overall but not a candidate
+        assert c.select_victim([1, 2], valid) == 2
+
+    def test_generator_candidates(self):
+        c = GreedyCollector()
+        valid = [9, 3, 7]
+        assert c.select_victim((b for b in (0, 1, 2)), valid) == 1
+
+    def test_wear_aware_tie_breaks_to_lowest_id(self):
+        from repro.flash.gc import WearAwareCollector
+
+        c = WearAwareCollector(block_bytes=4096, wear_weight=0.5)
+        valid = [10, 10, 10]
+        assert c.select_victim([2, 0, 1], valid) == 0
+
+    def test_wear_aware_penalty_is_relative_to_cohort(self):
+        from repro.flash.gc import WearAwareCollector
+
+        # Both candidates equally worn: the wear term cancels and the
+        # choice degenerates to greedy, however large the counts.
+        c = WearAwareCollector(block_bytes=1 << 20, wear_weight=1.0)
+        for _ in range(50):
+            c.stats.note_erase(0)
+            c.stats.note_erase(1)
+        valid = [500, 400]
+        assert c.select_victim([0, 1], valid) == 1
+
+
+class TestRetirementAccounting:
+    def test_note_retirement_moves_history(self):
+        s = GcStats()
+        s.note_erase(3)
+        s.note_erase(3)
+        s.note_erase(5)
+        s.note_retirement(3)
+        assert 3 not in s.erase_counts
+        assert s.retired_counts[3] == 2
+        assert s.retired_blocks == 1
+        # the survivor now bounds wear
+        assert s.max_erase_count == 1
+
+    def test_retiring_virgin_block(self):
+        s = GcStats()
+        s.note_retirement(7)
+        assert s.retired_counts[7] == 0
+        assert s.retired_blocks == 1
+
+    def test_snapshot_exports_retirement(self):
+        s = GcStats()
+        s.note_erase(1)
+        s.note_retirement(1)
+        snap = s.snapshot()
+        assert snap["retired_blocks"] == 1.0
+        assert snap["max_erase_count"] == 0.0
+        assert set(snap) == {"collections", "erases", "moved_bytes",
+                             "reclaimed_bytes", "max_erase_count",
+                             "retired_blocks"}
