@@ -13,6 +13,7 @@ Usage::
     python -m repro.bench --audit --shadow lzf,gzip --audit-dump audit.jsonl
     python -m repro.bench --health --health-dump health.json   # device health
     python -m repro.bench --chaos benchmarks/chaos_fin1.json   # fault-injected replay
+    python -m repro.bench --chaos benchmarks/latent_fin1.json --scrub-interval 0.005
     python -m repro.bench --cluster --trace --trace-dump trace.json --alerts
     python -m repro.bench --profile --profile-dump profile.txt  # cProfile a replay
 
@@ -283,13 +284,21 @@ def _run_chaos(
     backend: str,
     prom_dump: str | None = None,
     interval: float = 0.25,
+    scrub_interval: float | None = None,
+    scrub_audit: str | None = None,
 ) -> int:
-    """Replay one trace under a fault plan; non-zero exit on data loss.
+    """Replay one trace under a fault plan; exit code is the verdict.
 
-    Plans that schedule ``power_loss`` events route to the crash-chaos
-    harness instead: the replay is cut at each instant, recovery is
-    scanned and verified, and the exit code encodes the verdict
-    (0 RECOVERED, 1 DATA-LOSS, 2 CORRUPTION).
+    Exit codes are the shared :mod:`repro.bench.verdicts` mapping:
+    0 RECOVERED, 1 DEGRADED, 2 DATA-LOSS, 3 CORRUPTION.  Plans that
+    schedule ``power_loss`` events route to the crash-chaos harness
+    instead: the replay is cut at each instant, recovery is scanned and
+    verified, and the same verdict mapping applies.
+
+    ``scrub_interval`` arms the online media scrubber (seconds between
+    sweep ticks) so latent retention / read-disturb corruption is
+    repaired in-band; ``scrub_audit`` writes the scrub-episode audit as
+    JSON after the run.
     """
     from repro.bench.chaos import run_chaos
     from repro.faults import FaultPlan
@@ -309,21 +318,31 @@ def _run_chaos(
         print(crash_report.render())
         return crash_report.exit_code
     sampler = TimeSeriesSampler(interval=interval)
+    scrubbed = (f", scrub every {scrub_interval}s"
+                if scrub_interval is not None else "")
     print(f"chaos: replaying {trace_name} under {plan_path} "
-          f"({backend}, duration {duration:.0f}s)...")
+          f"({backend}, duration {duration:.0f}s{scrubbed})...")
     report = run_chaos(
         plan, trace_name=trace_name, backend=backend, duration=duration,
-        sampler=sampler,
+        sampler=sampler, scrub_interval=scrub_interval,
     )
     print()
     print(report.render())
+    if scrub_audit:
+        import json
+
+        with open(scrub_audit, "w", encoding="utf-8") as fp:
+            json.dump(report.scrub if report.scrub is not None else {},
+                      fp, indent=2, sort_keys=True)
+            fp.write("\n")
+        print(f"\nwrote scrub audit to {scrub_audit}")
     if prom_dump:
         text = render_exposition(sampler=sampler)
         with open(prom_dump, "w", encoding="utf-8") as fp:
             fp.write(text)
         print(f"\nwrote {len(text.splitlines())} exposition lines "
               f"to {prom_dump}")
-    return 0 if report.ok else 1
+    return report.exit_code
 
 
 def _print_matrix(matrix, metric: str, title: str) -> None:
@@ -398,16 +417,28 @@ def main(argv: list[str] | None = None) -> int:
                              "with --cluster) as JSON to PATH")
     parser.add_argument("--chaos", metavar="PLAN.json", default=None,
                         help="replay one trace under the JSON fault plan "
-                             "and report recovered vs lost requests; "
-                             "exits 1 on any unrecovered data loss. Plans "
-                             "with power_loss events run the crash-chaos "
-                             "harness instead (ssd backend only): exit 0 "
-                             "RECOVERED, 1 DATA-LOSS, 2 CORRUPTION")
+                             "and report recovered vs lost requests; the "
+                             "exit code is the unified verdict (0 "
+                             "RECOVERED, 1 DEGRADED, 2 DATA-LOSS, 3 "
+                             "CORRUPTION). Plans with power_loss events "
+                             "run the crash-chaos harness instead (ssd "
+                             "backend only), same verdict mapping")
     parser.add_argument("--chaos-trace", default="Fin1",
                         help="trace for --chaos (default Fin1)")
     parser.add_argument("--chaos-backend", default="rais5",
                         choices=("ssd", "rais5"),
                         help="backend for --chaos (default rais5)")
+    parser.add_argument("--scrub-interval", type=float, default=None,
+                        metavar="S",
+                        help="with --chaos, arm the online media scrubber "
+                             "with a sweep tick every S virtual seconds: "
+                             "latent retention / read-disturb corruption "
+                             "is CRC-detected and self-healed from parity "
+                             "through the normal device path")
+    parser.add_argument("--scrub-audit", metavar="PATH", default=None,
+                        help="with --chaos and --scrub-interval, write "
+                             "the scrub-episode audit (config, counters, "
+                             "per-repair episodes) as JSON to PATH")
     parser.add_argument("--cluster", action="store_true",
                         help="run the sharded multi-tenant fleet exhibit: "
                              "consistent-hash routing, QoS admission, one "
@@ -505,6 +536,8 @@ def main(argv: list[str] | None = None) -> int:
                 args.chaos, args.chaos_trace, args.duration,
                 args.chaos_backend, prom_dump=args.prom_dump,
                 interval=args.sample_interval,
+                scrub_interval=args.scrub_interval,
+                scrub_audit=args.scrub_audit,
             )
         except (OSError, ValueError) as exc:
             parser.error(f"--chaos {args.chaos}: {exc}")

@@ -28,7 +28,16 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.bench.experiments import ExperimentResult, ReplayConfig, replay
+from repro.bench.verdicts import (
+    CORRUPTION,
+    DATA_LOSS,
+    DEGRADED,
+    RECOVERED,
+    exit_code as verdict_exit_code,
+)
+from repro.faults.latent import LatentStats
 from repro.faults.plan import FaultPlan
+from repro.flash.scrub import ScrubConfig
 from repro.traces.workloads import make_workload
 
 __all__ = ["ChaosReport", "run_chaos"]
@@ -68,6 +77,16 @@ class ChaosReport:
     degraded_p50_s: float = 0.0
     degraded_p95_s: float = 0.0
     degraded_p99_s: float = 0.0
+    #: host reads that hit latent-corrupt media (IntegrityError surfaced)
+    corrupt_reads: int = 0
+    #: aggregated :class:`~repro.faults.LatentStats` (``None`` when the
+    #: plan injects no latent faults)
+    latent: Optional[Dict[str, int]] = None
+    #: extents still corrupt on media at end of run (silent corruption)
+    residual_corrupt: int = 0
+    #: :meth:`~repro.flash.scrub.MediaScrubber.to_dict` snapshot
+    #: (``None`` when the run had no scrubber)
+    scrub: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -89,9 +108,38 @@ class ChaosReport:
         )
 
     @property
+    def scrub_unrepairable(self) -> int:
+        if not self.scrub:
+            return 0
+        stats = self.scrub.get("stats", {})
+        return int(stats.get("unrepairable", 0))
+
+    @property
+    def verdict(self) -> str:
+        """Unified chaos verdict (see :mod:`repro.bench.verdicts`).
+
+        Corruption dominates: a host read served off corrupt media, an
+        extent the scrubber could not repair, or corruption still
+        sitting on media at end of run all mean the stack returned (or
+        would return) wrong bytes.  Data loss means requests completed
+        lost; degraded means the array never healed.
+        """
+        if self.corrupt_reads or self.residual_corrupt or self.scrub_unrepairable:
+            return CORRUPTION
+        if self.data_loss_events:
+            return DATA_LOSS
+        if self.still_degraded:
+            return DEGRADED
+        return RECOVERED
+
+    @property
+    def exit_code(self) -> int:
+        return verdict_exit_code(self.verdict)
+
+    @property
     def ok(self) -> bool:
-        """Zero data loss and the array back to normal operation."""
-        return self.data_loss_events == 0 and not self.still_degraded
+        """Zero data loss, zero corruption, array back to normal."""
+        return self.verdict == RECOVERED
 
     # ------------------------------------------------------------------
     def as_dict(self) -> Dict[str, object]:
@@ -123,6 +171,12 @@ class ChaosReport:
             "degraded_p95_s": self.degraded_p95_s,
             "degraded_p99_s": self.degraded_p99_s,
             "data_loss_events": self.data_loss_events,
+            "corrupt_reads": self.corrupt_reads,
+            "latent": dict(self.latent) if self.latent is not None else None,
+            "residual_corrupt": self.residual_corrupt,
+            "scrub": self.scrub,
+            "verdict": self.verdict,
+            "exit_code": self.exit_code,
             "ok": self.ok,
         }
 
@@ -167,6 +221,26 @@ class ChaosReport:
                     f"p95 {self.degraded_p95_s * ms:.3f}, "
                     f"p99 {self.degraded_p99_s * ms:.3f}"
                 )
+        if self.latent is not None:
+            la = self.latent
+            lines.append(
+                f"  latent:       {la.get('retention_events', 0)} retention "
+                f"drops, {la.get('disturb_events', 0)} read-disturb "
+                f"corruptions, {la.get('corrupted_extents', 0)} extents "
+                f"corrupted, {self.residual_corrupt} still corrupt at end; "
+                f"{self.corrupt_reads} host reads hit corrupt media"
+            )
+        if self.scrub is not None:
+            st = self.scrub.get("stats", {})
+            lines.append(
+                f"  scrub:        {st.get('scanned', 0)} entries verified "
+                f"({st.get('verify_bytes', 0)} bytes), "
+                f"{st.get('corrupt_found', 0)} corrupt found, "
+                f"{st.get('parity_repairs', 0)} parity / "
+                f"{st.get('replica_repairs', 0)} replica repairs, "
+                f"{st.get('blocks_retired', 0)} blocks retired, "
+                f"{st.get('unrepairable', 0)} unrepairable"
+            )
         lines.append(
             f"  losses:       {self.data_loss_events} unrecovered "
             f"(edc reads {self.edc_unrecovered_reads}, "
@@ -176,8 +250,8 @@ class ChaosReport:
         )
         lines.append(
             "  verdict:      "
-            + ("RECOVERED (zero data loss, array healthy)" if self.ok
-               else "DATA LOSS / DEGRADED")
+            + (f"{RECOVERED} (zero data loss, array healthy)" if self.ok
+               else self.verdict)
         )
         return "\n".join(lines)
 
@@ -190,6 +264,8 @@ def run_chaos(
     duration: float = 20.0,
     cfg: Optional[ReplayConfig] = None,
     sampler=None,
+    scrub: Optional[ScrubConfig] = None,
+    scrub_interval: Optional[float] = None,
 ) -> ChaosReport:
     """Replay one canonical trace under ``plan`` and report recovery.
 
@@ -197,8 +273,19 @@ def run_chaos(
     the ``backend`` argument); ``sampler`` optionally attaches a
     :class:`~repro.telemetry.TimeSeriesSampler`, whose vocabulary gains
     the ``faults.*`` / ``array.*`` families on fault-injected runs.
+
+    ``scrub`` (a :class:`~repro.flash.scrub.ScrubConfig`) or the
+    shorthand ``scrub_interval`` (seconds between sweep ticks) arms the
+    online media scrubber for the replay.  After the trace drains, the
+    harness grants the scrubber a bounded *idle window* — extra
+    simulated time with no host I/O — so in-flight repairs complete and
+    late-injected latent errors are swept, exactly as a real scrubber
+    catches up during idle.  Corruption still on media after that
+    window (or that a host read ever hit) verdicts CORRUPTION.
     """
     cfg = cfg if cfg is not None else ReplayConfig(backend=backend)
+    if scrub is None and scrub_interval is not None:
+        scrub = ScrubConfig(interval_s=scrub_interval)
     trace = make_workload(trace_name, duration=duration)
 
     # Timestamp every request completion so latencies can be classified
@@ -222,7 +309,7 @@ def run_chaos(
 
     result = replay(
         trace, scheme, cfg, sampler=sampler, fault_plan=plan,
-        on_built=_on_built,
+        on_built=_on_built, scrub=scrub,
     )
 
     device = ctx["device"]
@@ -230,6 +317,45 @@ def run_chaos(
     ssds = ctx["devices"]
     injectors = getattr(built_backend, "fault_injectors", [])
     totals = plan.total_stats(injectors)
+
+    # Idle scrub window: the trace has drained, but the scrubber keeps
+    # sweeping during idle.  Fault generation is quiesced first (the
+    # host is gone; new retention/disturb strikes during the drain
+    # would race the repair forever), then short foreground no-ops are
+    # anchored so daemon ticks keep firing, until media is clean or the
+    # round budget runs out (unrepairable extents stay corrupt forever
+    # — bounded by the no-progress breaker).
+    scrubber = getattr(device, "scrubber", None)
+    latent_models = getattr(built_backend, "latent_models", ())
+    if scrubber is not None and latent_models:
+        sim = ctx["sim"]
+        for model in latent_models:
+            model.quiesce()
+        round_s = scrubber.config.interval_s * 8
+        stuck = 0
+        prev = None
+        for _ in range(256):
+            total = sum(m.corrupt_count for m in latent_models)
+            if not total:
+                break
+            # Known-bad (unrepairable) extents never clear: stop once a
+            # few rounds make no progress rather than spinning them out.
+            stuck = stuck + 1 if total == prev else 0
+            if stuck >= 4:
+                break
+            prev = total
+            sim.schedule(round_s, lambda: None)
+            sim.run()
+
+    latent_stats: Optional[Dict[str, int]] = None
+    residual_corrupt = 0
+    if latent_models:
+        agg = {name: 0 for name in LatentStats.FIELDS}
+        for model in latent_models:
+            for k, v in model.stats.as_dict().items():
+                agg[k] += v
+            residual_corrupt += model.corrupt_count
+        latent_stats = agg
 
     retired_blocks = sum(s.ftl.retired_blocks for s in ssds)
     # Include members swapped out by a rebuild: their FTL still records
@@ -294,5 +420,9 @@ def run_chaos(
         array_unrecovered=array_unrecovered,
         still_degraded=still_degraded,
         degraded_windows=tuple(windows),
+        corrupt_reads=device.corrupt_reads,
+        latent=latent_stats,
+        residual_corrupt=residual_corrupt,
+        scrub=scrubber.to_dict() if scrubber is not None else None,
         **deg_stats,
     )

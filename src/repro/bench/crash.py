@@ -26,10 +26,12 @@ into **episodes** at the scheduled cut instants:
      separately as ``lost_volatile``.
 
 The final verdict is **RECOVERED** (exit 0) when only volatile-window
-data was lost, **DATA-LOSS** (exit 1) when an acked-durable block went
-missing, and **CORRUPTION** (exit 2) when recovered metadata
+data was lost, **DATA-LOSS** (exit 2) when an acked-durable block went
+missing, and **CORRUPTION** (exit 3) when recovered metadata
 contradicts the oracle, the rebuild digests diverge, or the CRC scrub
-fails.
+fails.  Verdict strings and exit codes are the shared vocabulary of
+:mod:`repro.bench.verdicts`, used identically by the chaos and cluster
+harnesses.
 """
 
 from __future__ import annotations
@@ -40,6 +42,12 @@ from typing import Dict, List, Optional
 
 from repro.bench.experiments import ReplayConfig, _build_backend
 from repro.bench.schemes import build_device
+from repro.bench.verdicts import (
+    CORRUPTION,
+    DATA_LOSS,
+    RECOVERED,
+    exit_code as verdict_exit_code,
+)
 from repro.core.config import EDCConfig
 from repro.core.writeback import WriteBackBuffer
 from repro.faults.plan import FaultPlan
@@ -139,18 +147,18 @@ class CrashReport:
     @property
     def verdict(self) -> str:
         if self.corruption_events:
-            return "CORRUPTION"
+            return CORRUPTION
         if self.lost_acked:
-            return "DATA-LOSS"
-        return "RECOVERED"
+            return DATA_LOSS
+        return RECOVERED
 
     @property
     def exit_code(self) -> int:
-        return {"RECOVERED": 0, "DATA-LOSS": 1, "CORRUPTION": 2}[self.verdict]
+        return verdict_exit_code(self.verdict)
 
     @property
     def ok(self) -> bool:
-        return self.verdict == "RECOVERED"
+        return self.verdict == RECOVERED
 
     # ------------------------------------------------------------------
     def as_dict(self) -> Dict[str, object]:

@@ -131,6 +131,7 @@ def replay(
     on_built=None,
     recovery=None,
     health=None,
+    scrub=None,
 ) -> ExperimentResult:
     """Replay ``trace`` under ``scheme`` and collect the result record.
 
@@ -177,6 +178,15 @@ def replay(
     (mapping/allocator digests) to one without.  Composes with every
     other instrument; it is bound after fault wiring so retirement
     hooks chain instead of clobbering.
+
+    ``scrub`` optionally arms an online media scrubber: a
+    :class:`~repro.flash.scrub.ScrubConfig` builds a
+    :class:`~repro.flash.scrub.MediaScrubber` over the device, started
+    before the first request so latent errors injected by
+    ``fault_plan`` are found and repaired *during* the replay.  Scrub
+    I/O is charged through the normal read/write paths; ``None`` (the
+    default) keeps the replay bit-identical to the seed.  Bound before
+    the sampler so the gated ``scrub.*`` metric family attaches.
     """
     cfg = cfg if cfg is not None else ReplayConfig()
     sim = Simulator()
@@ -208,6 +218,11 @@ def replay(
             )
     if health is not None and getattr(health, "enabled", True):
         health.bind_device(device)
+    if scrub is not None:
+        from repro.flash.scrub import MediaScrubber, ScrubConfig
+
+        scfg = scrub if isinstance(scrub, ScrubConfig) else ScrubConfig()
+        MediaScrubber(sim, device, scfg).start()
     if sampler is not None:
         sampler.attach(sim, device)
         sampler.start()

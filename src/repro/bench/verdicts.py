@@ -1,0 +1,73 @@
+"""The shared verdict vocabulary of every durability/robustness harness.
+
+Three harnesses grade runs — the fault-chaos replay
+(:mod:`repro.bench.chaos`), the crash-recovery replay
+(:mod:`repro.bench.crash`) and the fleet durability audit
+(:mod:`repro.cluster.replication`) — and before this module each
+carried its own verdict strings and exit-code mapping (with
+*conflicting* codes: crash chaos used 1 for DATA-LOSS and 2 for
+CORRUPTION while the fleet audit used 2 for DATA-LOSS).  CI scripts
+and humans read these codes; one vocabulary, ordered by severity,
+lives here and everything maps through it.
+
+Exit codes (process exit = worst thing that happened):
+
+====== =========== =============================================
+code   verdict     meaning
+====== =========== =============================================
+0      RECOVERED   every injected failure fully healed
+1      DEGRADED    running, but redundancy not fully restored
+2      DATA-LOSS   an acknowledged write is gone
+3      CORRUPTION  stored data is wrong (worse than missing:
+                   nothing flags it until something reads it)
+====== =========== =============================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = [
+    "RECOVERED",
+    "DEGRADED",
+    "DATA_LOSS",
+    "CORRUPTION",
+    "VERDICTS",
+    "EXIT_CODES",
+    "exit_code",
+    "severity",
+    "worst",
+]
+
+RECOVERED = "RECOVERED"
+DEGRADED = "DEGRADED"
+DATA_LOSS = "DATA-LOSS"
+CORRUPTION = "CORRUPTION"
+
+#: every verdict, in increasing order of severity
+VERDICTS = (RECOVERED, DEGRADED, DATA_LOSS, CORRUPTION)
+
+#: the single verdict -> process-exit-code mapping used by all harnesses
+EXIT_CODES: Dict[str, int] = {v: i for i, v in enumerate(VERDICTS)}
+
+
+def exit_code(verdict: str) -> int:
+    """The process exit code for ``verdict`` (raises on unknown verdicts)."""
+    try:
+        return EXIT_CODES[verdict]
+    except KeyError:
+        raise ValueError(
+            f"unknown verdict {verdict!r}; expected one of {VERDICTS}"
+        ) from None
+
+
+def severity(verdict: str) -> int:
+    """Rank of ``verdict`` in the severity order (0 = best)."""
+    return exit_code(verdict)
+
+
+def worst(*verdicts: str) -> str:
+    """The most severe of the given verdicts (``RECOVERED`` if none)."""
+    if not verdicts:
+        return RECOVERED
+    return max(verdicts, key=severity)

@@ -61,6 +61,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.bench.verdicts import (
+    DATA_LOSS,
+    DEGRADED,
+    RECOVERED,
+    EXIT_CODES as VERDICT_EXIT_CODES,
+    exit_code as verdict_exit_code,
+)
 from repro.cluster.routing import ClusterDistributer
 from repro.cluster.tenants import TenantSpec, TenantState, TokenBucket
 from repro.faults.plan import DeviceFailedError
@@ -170,6 +177,10 @@ class ReplicationStats:
     #: blocks actually re-replicated (one src read + one dst ingest each)
     rebuild_blocks: int = 0
     rebuild_bytes: int = 0
+    #: blocks re-ingested from a peer replica by a media scrubber
+    #: (see :meth:`ReplicationManager.replica_source_for`)
+    scrub_repairs: int = 0
+    scrub_repair_bytes: int = 0
 
 
 @dataclass
@@ -198,18 +209,18 @@ class DurabilityReport:
     @property
     def verdict(self) -> str:
         if self.lost or self.corrupt:
-            return "DATA-LOSS"
+            return DATA_LOSS
         if (self.under_replicated or self.rebuilds_pending
                 or self.rebuilds_abandoned):
-            return "DEGRADED"
-        return "RECOVERED"
+            return DEGRADED
+        return RECOVERED
 
-    #: process exit code per verdict (crash-harness convention)
-    EXIT_CODES = {"RECOVERED": 0, "DEGRADED": 1, "DATA-LOSS": 2}
+    #: the shared verdict→exit-code mapping (:mod:`repro.bench.verdicts`)
+    EXIT_CODES = VERDICT_EXIT_CODES
 
     @property
     def exit_code(self) -> int:
-        return self.EXIT_CODES[self.verdict]
+        return verdict_exit_code(self.verdict)
 
 
 class _RebuildJob:
@@ -809,6 +820,61 @@ class ReplicationManager:
         self.stats.rebuilds_completed += 1
         if self.tracer.enabled:
             self.tracer.rebuild_done(job.ridx)
+
+    # ------------------------------------------------------------------
+    # media-scrub self-healing
+    # ------------------------------------------------------------------
+    def replica_source_for(self, name: str) -> Callable[[int, int], bool]:
+        """Self-healing hook for shard ``name``'s media scrubber.
+
+        Returns a ``(lba, nbytes) -> bool`` callable (the
+        :class:`~repro.flash.scrub.MediaScrubber` ``replica_source``):
+        when the scrubber finds latent corruption it cannot repair
+        locally, the hook re-ingests the covered blocks from a peer
+        replica — a charged read on the surviving holder, then
+        :meth:`~repro.core.device.EDCBlockDevice.ingest_replica` on
+        ``name`` at the oracle version, the same byte-exactness
+        machinery rebuild uses.  Returns ``True`` when at least one
+        block was re-ingested.
+        """
+        c = self.cluster
+        bs = c.block_size
+
+        def _repair(lba: int, nbytes: int) -> bool:
+            ridx = c.range_of(lba)
+            peers = [n for n in self._members_of(ridx)
+                     if n != name and n not in self.down]
+            repaired = False
+            for blk in range(lba // bs, (lba + nbytes + bs - 1) // bs):
+                version = self.versions.get(blk, 0)
+                if version == 0:
+                    continue
+                src = next(
+                    (n for n in peers
+                     if c.shards[n].mapping.lookup(blk * bs) is not None),
+                    None,
+                )
+                if src is None:
+                    continue
+                rreq = IORequest(self.sim.now, READ, blk * bs, bs)
+                c.register_internal(
+                    rreq, lambda *_: None, lambda *_: None
+                )
+                c.shards[src].submit(rreq)
+
+                def _ingest_ok(req: IORequest, _latency: float) -> None:
+                    self.stats.scrub_repairs += 1
+                    self.stats.scrub_repair_bytes += bs
+
+                wreq = IORequest(self.sim.now, WRITE, blk * bs, bs)
+                c.register_internal(wreq, _ingest_ok, lambda *_: None)
+                c.shards[name].ingest_replica(
+                    blk * bs, bs, (version,), ref=wreq
+                )
+                repaired = True
+            return repaired
+
+        return _repair
 
     # ------------------------------------------------------------------
     # durability audit (the chaos verdict)

@@ -44,11 +44,25 @@ from repro.telemetry.probes import NULL_TELEMETRY, Telemetry
 from repro.traces.model import IORequest
 
 
-__all__ = ["EDCBlockDevice", "IntegrityError"]
+__all__ = ["EDCBlockDevice", "IntegrityError", "IntegrityAssertionError"]
 
 
-class IntegrityError(AssertionError):
-    """Raised in verify mode when read-back data mismatches what was written."""
+class IntegrityError(Exception):
+    """Read-back data mismatches what was written (corruption detected).
+
+    Raised by verify mode, the per-block CRC check, and the latent
+    media-error surface.  A proper :class:`Exception` subclass: data
+    corruption is a runtime condition to be counted, escalated or
+    repaired, not an assertion failure — in particular it must survive
+    ``python -O`` and never be swallowed by test frameworks treating
+    :class:`AssertionError` specially.
+    """
+
+
+#: Deprecated alias.  ``IntegrityError`` historically subclassed
+#: :class:`AssertionError`; code that caught it via that name keeps
+#: working, but new code should catch :class:`IntegrityError`.
+IntegrityAssertionError = IntegrityError
 
 
 class EDCBlockDevice:
@@ -107,6 +121,17 @@ class EDCBlockDevice:
         #: replay drains instead of deadlocking on ``outstanding``
         self.unrecovered_reads = 0
         self.unrecovered_writes = 0
+        #: host reads that hit latently corrupted media (CRC mismatch on
+        #: the device read) — the scrubber exists to keep this at zero
+        self.corrupt_reads = 0
+        #: optional :class:`~repro.flash.scrub.MediaScrubber` bound to
+        #: this device (set by ``MediaScrubber.__init__``); ``None``
+        #: keeps background scrubbing off and the replay bit-identical
+        self.scrubber = None
+        #: cached media-CRC oracle of the backend; ``None`` for backends
+        #: without a latent-error surface (queried once per mapped read,
+        #: so the lookup is hoisted out of the hot path)
+        self._latent_query = getattr(backend, "latent_corrupt", None)
 
         #: optional per-request completion hook ``(request, latency) ->
         #: None`` called once when a submitted request fully completes
@@ -618,6 +643,20 @@ class EDCBlockDevice:
 
         def _after_device() -> None:
             dec = self.engine.decompress_time(codec_name, entry.original_size)
+            if self._latent_query is not None and self._latent_query(eid):
+                # Latent media corruption: the transfer "succeeded" but
+                # the device-level CRC over the stored payload mismatches.
+                # Surfaced as a counted read error (IntegrityError), not a
+                # ReadFaultError — retries cannot fix rotted charge.
+                self.corrupt_reads += 1
+                _piece_error(
+                    IntegrityError(
+                        f"read of lba {request.lba}: stored payload of "
+                        f"entry {eid} failed the media CRC check "
+                        f"(latent corruption)"
+                    )
+                )
+                return
             if self.config.verify_reads:
                 self._verify_entry(run_ids, codec_name, entry, request)
             if entry.crc is not None and self.config.crc_checks:
@@ -738,40 +777,71 @@ class EDCBlockDevice:
                 break
         rewritten = 0
         for eid in victims:
-            meta = self._entry_meta.get(eid)
-            entry = self.mapping.get(eid)
-            if meta is None or entry is None:
-                continue
-            run_ids, _old_codec = meta
-            start_blk = self.mapping.block_of(entry.lba)
-            blocks = self.mapping.covered_blocks_of(eid)
-            if not blocks:
-                continue
-            # Coalesce the surviving blocks into contiguous sub-runs and
-            # rewrite each at its *current* content version.
-            runs: List[List[int]] = [[blocks[0], 1]]
-            for blk in blocks[1:]:
-                s, length = runs[-1]
-                if blk == s + length:
-                    runs[-1][1] += 1
-                else:
-                    runs.append([blk, 1])
-            for s, length in runs:
-                sub_ids = tuple(run_ids[s - start_blk + i] for i in range(length))
-                plan = self.engine.plan_write(sub_ids, codec_name, gate=False)
-                self._outstanding += 1
-                synthetic = PendingRun(s * bs, length * bs, [self.sim.now], [None])
-                if plan.cpu_time > 0:
-                    self.cpu.submit(
-                        plan.cpu_time,
-                        on_complete=lambda job, r=synthetic, p=plan, ids=sub_ids,
-                        old=eid: self._commit_defrag(r, p, ids, old),
-                        tag=("defrag", s),
-                    )
-                else:
-                    self._commit_defrag(synthetic, plan, sub_ids, eid)
-            rewritten += 1
+            rewritten += 1 if self.rewrite_entry(eid, codec_name) else 0
         return rewritten
+
+    def rewrite_entry(
+        self,
+        eid: int,
+        codec_name: Optional[str] = "gzip",
+        keep_codec: bool = False,
+        on_stored=None,
+    ) -> int:
+        """Rewrite entry ``eid``'s still-live blocks as fresh extents.
+
+        The relocation primitive shared by :meth:`defragment` (reclaim
+        zombie space) and the media scrubber's self-healing repair
+        (re-place a corrupted extent from known-good content): the live
+        blocks are re-planned, re-compressed and written through the
+        normal device path — CPU, program time, WA and energy are all
+        charged — and the new insert shadows the old extent, whose
+        storage is then trimmed on the backend.
+
+        ``keep_codec`` re-encodes with the entry's original codec
+        (overriding ``codec_name``), preserving the stored shape;
+        ``on_stored`` is called with each sub-run's stored (allocated)
+        byte count at commit, the hook the scrubber uses to account
+        repair bytes exactly.  Returns the number of sub-run writes
+        issued (0 when the entry is gone or fully shadowed).
+        """
+        bs = self.config.block_size
+        meta = self._entry_meta.get(eid)
+        entry = self.mapping.get(eid)
+        if meta is None or entry is None:
+            return 0
+        run_ids, old_codec = meta
+        if keep_codec:
+            codec_name = None if old_codec in (None, "none") else old_codec
+        start_blk = self.mapping.block_of(entry.lba)
+        blocks = self.mapping.covered_blocks_of(eid)
+        if not blocks:
+            return 0
+        # Coalesce the surviving blocks into contiguous sub-runs and
+        # rewrite each at its *current* content version.
+        runs: List[List[int]] = [[blocks[0], 1]]
+        for blk in blocks[1:]:
+            s, length = runs[-1]
+            if blk == s + length:
+                runs[-1][1] += 1
+            else:
+                runs.append([blk, 1])
+        issued = 0
+        for s, length in runs:
+            sub_ids = tuple(run_ids[s - start_blk + i] for i in range(length))
+            plan = self.engine.plan_write(sub_ids, codec_name, gate=False)
+            self._outstanding += 1
+            synthetic = PendingRun(s * bs, length * bs, [self.sim.now], [None])
+            issued += 1
+            if plan.cpu_time > 0:
+                self.cpu.submit(
+                    plan.cpu_time,
+                    on_complete=lambda job, r=synthetic, p=plan, ids=sub_ids,
+                    old=eid: self._commit_defrag(r, p, ids, old, on_stored),
+                    tag=("defrag", s),
+                )
+            else:
+                self._commit_defrag(synthetic, plan, sub_ids, eid, on_stored)
+        return issued
 
     def _commit_defrag(
         self,
@@ -779,6 +849,7 @@ class EDCBlockDevice:
         plan: WritePlan,
         run_ids: Tuple[int, ...],
         old_eid: int,
+        on_stored=None,
     ) -> None:
         """Like :meth:`_commit_write` but without version bumps or write
         statistics — the logical data is unchanged, only re-placed."""
@@ -820,6 +891,9 @@ class EDCBlockDevice:
                 tuple(old_id for old_id, _ in shadowed),
                 cls.nbytes,
             )
+
+        if on_stored is not None:
+            on_stored(cls.nbytes)
 
         def _done() -> None:
             if self.recovery is not None:

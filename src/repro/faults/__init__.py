@@ -13,6 +13,12 @@ the canonical traces under a plan and reports recovered-vs-failed
 counts plus degraded-window latency percentiles.
 """
 
+from repro.faults.latent import (
+    LatentErrorModel,
+    LatentStats,
+    ReadDisturb,
+    RetentionLoss,
+)
 from repro.faults.plan import (
     PLAN_SCHEMA,
     DeviceFailedError,
@@ -32,6 +38,10 @@ __all__ = [
     "FaultStats",
     "DeviceFailure",
     "PowerLoss",
+    "RetentionLoss",
+    "ReadDisturb",
+    "LatentErrorModel",
+    "LatentStats",
     "PLAN_SCHEMA",
     "FaultError",
     "ReadFaultError",

@@ -48,6 +48,8 @@ import zlib
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.faults.latent import LatentErrorModel, ReadDisturb, RetentionLoss
+
 __all__ = [
     "FaultError",
     "ReadFaultError",
@@ -55,6 +57,8 @@ __all__ = [
     "DeviceFailedError",
     "DeviceFailure",
     "PowerLoss",
+    "RetentionLoss",
+    "ReadDisturb",
     "FaultStats",
     "FaultInjector",
     "FaultPlan",
@@ -275,6 +279,12 @@ class FaultPlan:
     #: stripe rows reconstructed per rebuild batch (rebuild I/O contends
     #: with foreground traffic batch by batch)
     rebuild_batch_rows: int = 8
+    #: latent retention-loss model (charge leakage corrupting aged,
+    #: worn blocks over time); ``None`` disables it
+    retention: Optional[RetentionLoss] = None
+    #: latent read-disturb model (heavy reads corrupting neighbouring
+    #: blocks); ``None`` disables it
+    read_disturb: Optional[ReadDisturb] = None
 
     def __post_init__(self) -> None:
         if self.schema != PLAN_SCHEMA:
@@ -312,6 +322,16 @@ class FaultPlan:
                 for p in self.power_losses
             ),
         )
+        if self.retention is not None:
+            object.__setattr__(
+                self, "retention",
+                _coerce_nested(self.retention, RetentionLoss, "retention"),
+            )
+        if self.read_disturb is not None:
+            object.__setattr__(
+                self, "read_disturb",
+                _coerce_nested(self.read_disturb, ReadDisturb, "read-disturb"),
+            )
 
     # ------------------------------------------------------------------
     # construction / serialisation
@@ -330,6 +350,8 @@ class FaultPlan:
             and self.latency_spike_prob == 0.0
             and not self.device_failures
             and not self.power_losses
+            and self.retention is None
+            and self.read_disturb is None
         )
 
     @classmethod
@@ -354,6 +376,12 @@ class FaultPlan:
         d = asdict(self)
         d["device_failures"] = [asdict(f) for f in self.device_failures]
         d["power_losses"] = [asdict(p) for p in self.power_losses]
+        d["retention"] = (
+            None if self.retention is None else asdict(self.retention)
+        )
+        d["read_disturb"] = (
+            None if self.read_disturb is None else asdict(self.read_disturb)
+        )
         return d
 
     def to_json(self, path: str) -> None:
@@ -386,12 +414,14 @@ class FaultPlan:
         """
         ssds = list(devices) if devices is not None else [backend]
         injectors: List[FaultInjector] = []
+        latent_models: List[LatentErrorModel] = []
         by_name: Dict[str, object] = {}
         for ssd in ssds:
             inj = self.injector_for(ssd.name)
             ssd.injector = inj
             injectors.append(inj)
             by_name[ssd.name] = ssd
+            self._arm_latent(sim, ssd, latent_models)
         for failure in self.device_failures:
             ssd = by_name.get(failure.device)
             if ssd is None:
@@ -405,12 +435,35 @@ class FaultPlan:
         if hasattr(backend, "spare_factory"):
             backend.rebuild_delay_s = self.rebuild_delay_s
             backend.rebuild_batch_rows = self.rebuild_batch_rows
-            backend.spare_factory = _spare_factory(self, sim, ssds, injectors)
+            backend.spare_factory = _spare_factory(
+                self, sim, ssds, injectors, latent_models
+            )
         # The live list (spares appended as they are built), so the
         # telemetry sampler can aggregate FaultStats across the whole
         # device population, replaced members included.
         backend.fault_injectors = injectors
+        if latent_models:
+            backend.latent_models = latent_models
         return injectors
+
+    def _arm_latent(self, sim, ssd, latent_models: List) -> None:
+        """Install a latent-error model on ``ssd`` when the plan has one.
+
+        With neither latent field set this is a no-op: no model, no
+        daemon, no RNG stream — the replay stays bit-identical.
+        """
+        if self.retention is None and self.read_disturb is None:
+            return
+        model = LatentErrorModel(
+            self.seed, ssd.name, sim, ssd.ftl,
+            retention=self.retention, read_disturb=self.read_disturb,
+        )
+        ssd.latent = model
+        latent_models.append(model)
+        if self.retention is not None:
+            model.tick_event = sim.every(
+                self.retention.check_interval_s, model.tick
+            )
 
     def total_stats(self, injectors: Sequence[FaultInjector]) -> FaultStats:
         total = FaultStats()
@@ -419,12 +472,15 @@ class FaultPlan:
         return total
 
 
-def _spare_factory(plan, sim, ssds, injectors) -> Callable[[], object]:
+def _spare_factory(
+    plan, sim, ssds, injectors, latent_models=None
+) -> Callable[[], object]:
     """Builds replacement SSDs matching the array members' geometry.
 
     Spares live under the same fault plan as the members they replace:
-    each gets its own injector, appended to the ``injectors`` list the
-    harness aggregates, so faults keep firing after a rebuild.
+    each gets its own injector (and latent-error model, when the plan
+    has one), appended to the lists the harness aggregates, so faults
+    keep firing after a rebuild.
     """
     counter = {"n": 0}
 
@@ -444,6 +500,10 @@ def _spare_factory(plan, sim, ssds, injectors) -> Callable[[], object]:
         )
         spare.injector = plan.injector_for(spare.name)
         injectors.append(spare.injector)
+        plan._arm_latent(
+            sim, spare,
+            latent_models if latent_models is not None else [],
+        )
         return spare
 
     return make_spare

@@ -188,6 +188,27 @@ class ExtentFTL:
             return []
         return [e.block_id for e in ext]
 
+    @property
+    def n_blocks(self) -> int:
+        """Total erase blocks on the device (retired ones included)."""
+        return self.geometry.nblocks
+
+    def block_valid_bytes(self, block_id: int) -> int:
+        """Valid (live) bytes currently stored in ``block_id``."""
+        return self._block_valid[block_id]
+
+    def live_blocks(self) -> list[int]:
+        """Blocks currently holding at least one live piece, ascending."""
+        return [b for b, live in enumerate(self._block_live) if live]
+
+    def live_keys(self, block_id: int) -> list:
+        """Distinct extent keys with live pieces in ``block_id``.
+
+        Keys are heterogeneous (ints and tuples), so order is the
+        piece-insertion order — never sorted.
+        """
+        return list(dict.fromkeys(k for k, _i in self._block_live[block_id]))
+
     def max_wear_of(self, key: Hashable) -> int:
         """Highest erase count among the blocks holding ``key``.
 

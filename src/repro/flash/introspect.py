@@ -358,6 +358,8 @@ class SmartSnapshot:
     gc_moved_bytes: int = 0
     #: bytes relocated by bad-block retirement / rebuild
     rebuild_bytes: int = 0
+    #: bytes rewritten by the media scrubber's self-healing repairs
+    scrub_bytes: int = 0
     write_amplification: float = 1.0
 
     # -- GC ------------------------------------------------------------
@@ -371,12 +373,14 @@ class SmartSnapshot:
     drive_writes_per_day: float = 0.0
 
     def wa_split(self) -> Dict[str, int]:
-        """The WA numerator, attributed: host / metadata / GC / rebuild."""
+        """The WA numerator, attributed: host / metadata / GC / rebuild
+        / scrub repair."""
         return {
             "host": self.host_data_bytes,
             "metadata": self.meta_bytes,
             "gc": self.gc_moved_bytes,
             "rebuild": self.rebuild_bytes,
+            "scrub": self.scrub_bytes,
         }
 
 
@@ -445,6 +449,13 @@ def smart_snapshot(
         recovery.stats.meta_write_bytes if recovery is not None else 0
     )
     meta_bytes = min(meta_bytes, host_bytes)
+    scrubber = getattr(device, "scrubber", None)
+    scrub_bytes = (
+        scrubber.stats.repaired_bytes if scrubber is not None else 0
+    )
+    # Scrub repairs flow through the normal write path, so they land in
+    # host_bytes; re-attribute them to their own WA lane.
+    scrub_bytes = min(scrub_bytes, host_bytes - meta_bytes)
     rebuild = relocated - gc_moved
     wa = (
         (host_bytes + relocated) / host_bytes if host_bytes else 1.0
@@ -483,10 +494,11 @@ def smart_snapshot(
         utilization=(
             live_bytes / logical_capacity if logical_capacity else 0.0
         ),
-        host_data_bytes=host_bytes - meta_bytes,
+        host_data_bytes=host_bytes - meta_bytes - scrub_bytes,
         meta_bytes=meta_bytes,
         gc_moved_bytes=gc_moved,
         rebuild_bytes=rebuild,
+        scrub_bytes=scrub_bytes,
         write_amplification=wa,
         gc_collections=collections,
         gc_reclaimed_bytes=reclaimed,

@@ -210,6 +210,22 @@ class RAIS0:
     def trim(self, key: Hashable) -> bool:
         return _trim_pieces(self.devices, key)
 
+    def latent_corrupt(self, key: Hashable) -> bool:
+        """True if any member holds a latently corrupted piece of ``key``."""
+        return _latent_corrupt_pieces(self.devices, key)
+
+
+def _latent_corrupt_pieces(devices, base: Hashable) -> bool:
+    """Does any device's latent model flag ``base`` or a sub-key of it?
+
+    Striped backends store entry ``base`` as sub-keys ``(base, i)``;
+    one corrupted piece corrupts the whole decompressed extent.
+    """
+    return any(
+        dev.latent is not None and dev.latent.has_corrupt_related(base)
+        for dev in devices
+    )
+
 
 def _trim_pieces(devices, key: Hashable) -> bool:
     """Trim sub-extents ``(key, 0..)`` wherever they live in the array.
@@ -808,3 +824,7 @@ class RAIS5:
 
     def trim(self, key: Hashable) -> bool:
         return _trim_pieces(self.devices, key)
+
+    def latent_corrupt(self, key: Hashable) -> bool:
+        """True if any member holds a latently corrupted piece of ``key``."""
+        return _latent_corrupt_pieces(self.devices, key)

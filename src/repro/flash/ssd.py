@@ -116,6 +116,11 @@ class SimulatedSSD:
         #: ``None`` means the device runs without durable metadata and a
         #: power cut loses the whole mapping.
         self.oob = None
+        #: optional :class:`~repro.faults.latent.LatentErrorModel`
+        #: installed by :meth:`repro.faults.FaultPlan.attach`; ``None``
+        #: (the default) keeps every hook below a single ``is None``
+        #: check and the replay bit-identical to the seed.
+        self.latent = None
 
     # ------------------------------------------------------------------
     # fault machinery
@@ -203,6 +208,8 @@ class SimulatedSSD:
             )
             return
         cost = self.ftl.write(key, nbytes, stream=stream)
+        if self.latent is not None:
+            self.latent.note_write(key)
         service = self.service_write_time(nbytes)
         stall = 0.0
         if self.gc_enabled:
@@ -261,6 +268,8 @@ class SimulatedSSD:
         self.stats.reads += 1
         self.stats.bytes_read += nbytes
         k = key if key is not None else lba
+        if self.latent is not None:
+            self.latent.note_read(k)
         service = self.service_read_time(nbytes)
         if self.probe is not None:
             self.probe("read", k, service, 0.0)
@@ -340,7 +349,13 @@ class SimulatedSSD:
 
     def trim(self, key: Hashable) -> bool:
         """Invalidate the stored extent for ``key`` (no queue time charged)."""
+        if self.latent is not None:
+            self.latent.note_trim(key)
         return self.ftl.trim(key)
+
+    def latent_corrupt(self, key: Hashable) -> bool:
+        """True if latent media errors corrupted the stored data of ``key``."""
+        return self.latent is not None and self.latent.has_corrupt_related(key)
 
     # ------------------------------------------------------------------
     def utilization(self) -> float:

@@ -343,9 +343,11 @@ class DeviceHealth:
             render_waterfall(self.waterfall(), width=width),
             "",
             self.gc_table(),
-            "",
-            render_heatmap(self.heat, now, width=width),
         ]
+        scrubber = getattr(self.device, "scrubber", None)
+        if scrubber is not None:
+            parts += ["", scrubber.audit_table()]
+        parts += ["", render_heatmap(self.heat, now, width=width)]
         return "\n".join(parts)
 
     def to_dict(
@@ -361,7 +363,12 @@ class DeviceHealth:
         wf.verify()
         now = self.sim.now if self.sim is not None else 0.0
         lifetime = smart.projected_lifetime_seconds
+        scrubber = getattr(self.device, "scrubber", None)
+        extra: Dict[str, object] = (
+            {"scrub": scrubber.to_dict()} if scrubber is not None else {}
+        )
         return {
+            **extra,
             "smart": {
                 "cell_type": smart.cell_type,
                 "pe_limit": smart.pe_limit,

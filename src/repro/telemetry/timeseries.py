@@ -277,7 +277,10 @@ def bind_standard_metrics(sampler: TimeSeriesSampler, device) -> None:
     :class:`~repro.recovery.DurableMetadataManager` export the
     ``recovery.*`` family (journal depth, checkpoint staleness,
     metadata write overhead, and the last recovery scan's page reads,
-    replay length and recovered-entry counts).
+    replay length and recovered-entry counts).  Plans arming latent
+    retention / read-disturb models export the ``latent.*`` family, and
+    a bound :class:`~repro.flash.scrub.MediaScrubber` exports the
+    ``scrub.*`` family (scan/verify/repair/retire counters).
     """
     sim = device.sim
     monitor = device.monitor
@@ -421,6 +424,43 @@ def bind_standard_metrics(sampler: TimeSeriesSampler, device) -> None:
             sampler.register(
                 "array.unrecovered",
                 lambda: float(astats.unrecovered_reads + astats.unrecovered_writes),
+            )
+
+    # Latent-error / scrub vocabulary — only present when the fault
+    # plan arms retention/read-disturb models (attach leaves them on
+    # the backend) or a MediaScrubber is bound to the device, so
+    # baseline scrapes and their exposition output are unchanged.
+    latent_models = getattr(backend, "latent_models", None)
+    if latent_models:
+        from repro.faults.latent import LatentStats
+
+        for fname in LatentStats.FIELDS:
+            sampler.register(
+                f"latent.{fname}",
+                (lambda n=fname: float(
+                    sum(getattr(m.stats, n) for m in latent_models)
+                )),
+                metric="latent",
+                labels={"kind": fname},
+            )
+        sampler.register(
+            "latent.corrupt_extents_now",
+            lambda: float(sum(m.corrupt_count for m in latent_models)),
+        )
+        sampler.register(
+            "edc.corrupt_reads", lambda: float(device.corrupt_reads)
+        )
+
+    scrubber = getattr(device, "scrubber", None)
+    if scrubber is not None:
+        from repro.flash.scrub import ScrubStats
+
+        for fname in ScrubStats.FIELDS:
+            sampler.register(
+                f"scrub.{fname}",
+                (lambda n=fname: float(getattr(scrubber.stats, n))),
+                metric="scrub",
+                labels={"kind": fname},
             )
 
     # Recovery vocabulary — only present when a DurableMetadataManager
